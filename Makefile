@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench quick-bench examples experiments clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full experiment tables + Bechamel micro-benchmarks (a few minutes).
+bench:
+	dune exec bench/main.exe
+
+# Fast smoke version of the same.
+quick-bench:
+	REJSCHED_QUICK=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/datacenter_flow.exe
+	dune exec examples/energy_cluster.exe
+	dune exec examples/adversarial_demo.exe
+
+# Regenerate every experiment CSV into results/.
+experiments:
+	dune exec bin/rejsched.exe -- experiment all --out results
+
+clean:
+	dune clean

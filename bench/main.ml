@@ -1,0 +1,144 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table of the reproduction (E1..E9,
+   the paper's Theorems 1-3 and Lemmas 1-2 plus the analysis machinery) at
+   full scale — these are the "tables and figures" recorded in
+   EXPERIMENTS.md.
+
+   Part 2 runs one Bechamel micro-benchmark per experiment's core
+   computation, plus a simulator-throughput benchmark (E10).
+
+   Run with: dune exec bench/main.exe
+   (set REJSCHED_QUICK=1 for a fast smoke run) *)
+
+open Bechamel
+open Toolkit
+
+let quick = Sys.getenv_opt "REJSCHED_QUICK" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables                                           *)
+
+let run_experiments () =
+  List.iter
+    (fun (e, tables) ->
+      Printf.printf "[%s] %s (reproduces: %s)\n" e.Sched_experiments.Registry.id
+        e.Sched_experiments.Registry.title e.Sched_experiments.Registry.reproduces;
+      List.iter Sched_stats.Table.print tables)
+    (Sched_experiments.Registry.run_all ~quick ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+
+let make_flow_instance n m seed =
+  Sched_workload.Gen.instance (Sched_workload.Suite.flow_pareto ~n ~m) ~seed
+
+let bench_tests () =
+  let module FR = Rejection.Flow_reject in
+  let module FE = Rejection.Flow_energy_reject in
+  let flow_inst = make_flow_instance 1000 8 1 in
+  let flow_small = make_flow_instance 200 4 1 in
+  let weighted =
+    Sched_workload.Gen.instance (Sched_workload.Suite.weighted_energy ~n:300 ~m:4 ~alpha:3.) ~seed:1
+  in
+  let deadline =
+    Sched_workload.Gen.instance (Sched_workload.Suite.deadline_energy ~n:40 ~m:2 ~alpha:3.) ~seed:1
+  in
+  let throughput_inst = make_flow_instance (if quick then 10_000 else 50_000) 16 2 in
+  [
+    Test.make ~name:"e1:thm1-flow n=1000 m=8"
+      (Staged.stage (fun () -> ignore (FR.run (FR.config ~eps:0.25 ()) flow_inst)));
+    Test.make ~name:"e2:lemma1-adversary L=16"
+      (Staged.stage (fun () ->
+           let run i = fst (FR.run (FR.config ~eps:0.2 ()) i) in
+           ignore (Sched_workload.Adversary_flow.run_two_phase ~run ~eps:0.2 ~l:16.)));
+    Test.make ~name:"e3:thm2-flow+energy n=300 m=4"
+      (Staged.stage (fun () -> ignore (FE.run (FE.config ~eps:0.25 ()) weighted)));
+    Test.make ~name:"e4:thm3-energy-greedy n=40 m=2"
+      (Staged.stage (fun () -> ignore (Rejection.Energy_config_greedy.run deadline)));
+    Test.make ~name:"e5:lemma2-adversary alpha=4"
+      (Staged.stage (fun () ->
+           let st = Rejection.Energy_config_greedy.continuous ~alpha:4. () in
+           let alg =
+             {
+               Sched_workload.Adversary_energy.name = "greedy";
+               place =
+                 (fun ~release ~deadline ~volume ->
+                   Rejection.Energy_config_greedy.continuous_place st ~release ~deadline ~volume);
+             }
+           in
+           ignore (Sched_workload.Adversary_energy.run ~alpha:4. alg)));
+    Test.make ~name:"e6:dual-certificate n=200"
+      (Staged.stage (fun () ->
+           let trace = Sched_sim.Trace.create () in
+           let schedule, st = FR.run ~trace (FR.config ~eps:0.25 ()) flow_small in
+           ignore
+             (Sched_lp.Dual_fit.certify ~eps:(FR.effective_eps st) ~lambdas:(FR.lambdas st)
+                flow_small trace schedule)));
+    Test.make ~name:"e7:smoothness lambda-search"
+      (Staged.stage (fun () ->
+           let rng = Sched_stats.Rng.create 1 in
+           ignore
+             (Sched_energy.Smooth.required_lambda ~trials:200
+                (Sched_energy.Power.polynomial ~alpha:3.)
+                ~mu:(2. /. 3.) rng)));
+    Test.make ~name:"e8:thm1-rule2-only n=1000"
+      (Staged.stage (fun () -> ignore (FR.run (FR.config ~eps:0.25 ~rule1:false ()) flow_inst)));
+    Test.make ~name:"e9:speed-augmented n=1000"
+      (Staged.stage (fun () ->
+           ignore (Sched_baselines.Speed_augmented.run ~eps_s:0.5 ~eps_r:0.25 flow_inst)));
+    Test.make ~name:"e10:driver-throughput n=50k m=16"
+      (Staged.stage (fun () -> ignore (FR.run (FR.config ~eps:0.25 ()) throughput_inst)));
+    Test.make ~name:"aux:local-search n=120"
+      (Staged.stage (fun () ->
+           let inst = make_flow_instance 120 3 5 in
+           ignore (Sched_baselines.Local_search.improve inst)));
+    Test.make ~name:"aux:oa-online n=200"
+      (Staged.stage (fun () ->
+           let inst =
+             Sched_workload.Gen.instance
+               (Sched_workload.Suite.deadline_energy ~n:200 ~m:1 ~alpha:3.)
+               ~seed:3
+           in
+           ignore (Sched_energy.Oa.energy ~alpha:3. (Sched_energy.Yds.of_instance inst ~machine:0))));
+    Test.make ~name:"aux:swf-parse"
+      (Staged.stage (fun () -> ignore (Sched_workload.Swf.parse ~m:4 Sched_workload.Swf.example)));
+  ]
+
+let run_benchmarks () =
+  let tests = bench_tests () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.2 else 1.0))
+      ~stabilize:false ()
+  in
+  Printf.printf "\n== Bechamel micro-benchmarks (monotonic clock) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-36s %12.3f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        analyzed)
+    tests;
+  (* A direct jobs/second figure for the throughput story (E10). *)
+  let inst = make_flow_instance (if quick then 20_000 else 100_000) 16 3 in
+  let module FR = Rejection.Flow_reject in
+  let t0 = Sys.time () in
+  let schedule, _ = FR.run (FR.config ~eps:0.25 ()) inst in
+  let dt = Sys.time () -. t0 in
+  let n = float_of_int (Sched_model.Instance.n inst) in
+  Printf.printf "\n== E10: simulator throughput ==\n";
+  Printf.printf "  %d jobs on 16 machines in %.3f s -> %.0f jobs/s (~%.0f events/s)\n"
+    (int_of_float n) dt (n /. dt)
+    (n *. 3. /. dt);
+  ignore schedule
+
+let () =
+  run_experiments ();
+  run_benchmarks ()

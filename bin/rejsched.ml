@@ -1,0 +1,374 @@
+(* rejsched: command-line front end.
+
+   Subcommands:
+     run         run one policy on one synthetic workload, print metrics
+     experiment  regenerate one (or all) of the paper's experiment tables
+     adversary   play a lower-bound game (Lemma 1 or Lemma 2)
+     bounds      print the paper's theoretical constants for given eps/alpha
+     list        list workloads, policies and experiments *)
+
+open Cmdliner
+open Sched_model
+module Gen = Sched_workload.Gen
+module Suite = Sched_workload.Suite
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let workload_names = [ "uniform"; "pareto"; "bimodal"; "restricted"; "related"; "clustered" ]
+
+let workload_of_name ~n ~m = function
+  | "uniform" -> Suite.flow_uniform ~n ~m
+  | "pareto" -> Suite.flow_pareto ~n ~m
+  | "bimodal" -> Suite.flow_bimodal ~n ~m
+  | "restricted" -> Suite.flow_restricted ~n ~m
+  | "related" -> Suite.flow_related ~n ~m
+  | "clustered" -> Suite.flow_clustered ~n ~m
+  | other -> invalid_arg (Printf.sprintf "unknown workload %S" other)
+
+let workload_arg =
+  let doc = "Workload family: " ^ String.concat ", " workload_names ^ "." in
+  Arg.(value & opt string "uniform" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let n_arg = Arg.(value & opt int 200 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Number of jobs.")
+let m_arg = Arg.(value & opt int 4 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Number of machines.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let eps_arg =
+  Arg.(value & opt float 0.25 & info [ "eps" ] ~docv:"EPS" ~doc:"Rejection budget knob in (0,1).")
+
+let alpha_arg =
+  Arg.(value & opt float 3.0 & info [ "alpha" ] ~docv:"ALPHA" ~doc:"Power exponent (P(s)=s^alpha).")
+
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
+
+let sizes_arg =
+  let names = List.map fst Suite.dist_menu in
+  let doc = "Override the workload's size distribution: " ^ String.concat ", " names ^ "." in
+  Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"DIST" ~doc)
+
+let apply_sizes gen = function
+  | None -> gen
+  | Some name -> (
+      match List.assoc_opt name Suite.dist_menu with
+      | Some dist -> { gen with Gen.sizes = dist }
+      | None ->
+          prerr_endline ("unknown size distribution: " ^ name);
+          exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let policy_names = [ "thm1"; "thm1-rule1"; "thm1-rule2"; "fifo"; "spt"; "immediate"; "esa" ]
+
+let run_cmd =
+  let policy_arg =
+    let doc = "Policy: " ^ String.concat ", " policy_names ^ "." in
+    Arg.(value & opt string "thm1" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart.") in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart of the schedule to FILE.")
+  in
+  let load_arg =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE" ~doc:"Load the instance from FILE instead of generating it.")
+  in
+  let swf_arg =
+    Arg.(value & opt (some string) None
+         & info [ "swf" ] ~docv:"FILE"
+             ~doc:"Import the instance from an SWF cluster trace (Parallel Workloads Archive \
+                   format); -m selects the fleet size.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Save the (generated) instance to FILE.")
+  in
+  let segments_arg =
+    Arg.(value & opt (some string) None
+         & info [ "segments" ] ~docv:"FILE" ~doc:"Write the schedule's segments as CSV to FILE.")
+  in
+  let action policy workload n m seed eps csv gantt svg load swf save segments sizes =
+    let gen = apply_sizes (workload_of_name ~n ~m workload) sizes in
+    let inst =
+      match (load, swf) with
+      | Some path, _ -> (
+          match Serialize.load_instance ~path with
+          | Ok inst -> inst
+          | Error msg ->
+              prerr_endline ("failed to load instance: " ^ msg);
+              exit 1)
+      | None, Some path -> (
+          match Sched_workload.Swf.load ~path ~max_jobs:n ~m () with
+          | Ok inst -> inst
+          | Error msg ->
+              prerr_endline ("failed to import SWF trace: " ^ msg);
+              exit 1)
+      | None, None -> Gen.instance gen ~seed
+    in
+    (match save with Some path -> Serialize.save_instance ~path inst | None -> ());
+    let module FR = Rejection.Flow_reject in
+    let schedule =
+      match policy with
+      | "thm1" -> fst (FR.run (FR.config ~eps ()) inst)
+      | "thm1-rule1" -> fst (FR.run (FR.config ~eps ~rule2:false ()) inst)
+      | "thm1-rule2" -> fst (FR.run (FR.config ~eps ~rule1:false ()) inst)
+      | "fifo" -> Sched_sim.Driver.run_schedule Sched_baselines.Greedy_dispatch.fifo inst
+      | "spt" -> Sched_sim.Driver.run_schedule Sched_baselines.Greedy_dispatch.spt inst
+      | "immediate" ->
+          Sched_sim.Driver.run_schedule
+            (Sched_baselines.Immediate_reject.policy ~eps
+               (Sched_baselines.Immediate_reject.Largest_over 2.))
+            inst
+      | "esa" -> Sched_baselines.Speed_augmented.run ~eps_s:0.5 ~eps_r:eps inst
+      | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
+    in
+    Schedule.assert_valid ~check_deadlines:false schedule;
+    let f = Metrics.flow schedule in
+    let r = Metrics.rejection schedule in
+    let lb = Sched_baselines.Lower_bounds.volume inst in
+    let table =
+      Sched_stats.Table.create
+        ~title:(Printf.sprintf "%s on %s (n=%d m=%d seed=%d)" policy workload n m seed)
+        ~columns:[ "metric"; "value" ]
+    in
+    let cell = Sched_stats.Table.cell_float in
+    Sched_stats.Table.add_rows table
+      [
+        [ "total flow (completed)"; cell f.Metrics.total ];
+        [ "total flow (incl. rejected)"; cell f.Metrics.total_with_rejected ];
+        [ "weighted flow"; cell f.Metrics.weighted ];
+        [ "max flow"; cell f.Metrics.max_flow ];
+        [ "mean flow"; cell f.Metrics.mean_flow ];
+        [ "max stretch"; cell f.Metrics.max_stretch ];
+        [ "makespan"; cell (Metrics.makespan schedule) ];
+        [ "rejected jobs"; Sched_stats.Table.cell_int r.Metrics.count ];
+        [ "rejected fraction"; cell r.Metrics.fraction ];
+        [ "rejected mid-run"; Sched_stats.Table.cell_int r.Metrics.mid_run ];
+        [ "volume lower bound"; cell lb.Sched_baselines.Lower_bounds.value ];
+        [ "flow / volume-LB"; cell (f.Metrics.total_with_rejected /. lb.Sched_baselines.Lower_bounds.value) ];
+        [ "Theorem 1 bound"; cell (Rejection.Bounds.flow_competitive ~eps) ];
+      ];
+    if csv then print_string (Sched_stats.Table.to_csv table) else Sched_stats.Table.print table;
+    if gantt then print_string (Gantt.render schedule);
+    (match svg with Some path -> Svg.save ~path schedule | None -> ());
+    match segments with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Serialize.segments_to_csv schedule))
+    | None -> ()
+  in
+  let term =
+    Term.(
+      const action $ policy_arg $ workload_arg $ n_arg $ m_arg $ seed_arg $ eps_arg $ csv_arg
+      $ gantt_arg $ svg_arg $ load_arg $ swf_arg $ save_arg $ segments_arg $ sizes_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one policy on one synthetic workload and print its metrics.") term
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e9) or 'all'.")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller instances, fewer seeds.") in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Also write every table as a CSV file into DIR (created if missing), plus a MANIFEST.")
+  in
+  let action id quick csv out =
+    let manifest = Buffer.create 256 in
+    let slugify s =
+      String.map (fun c -> if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') then c else '-')
+        (String.lowercase_ascii s)
+    in
+    let write_csv eid t =
+      match out with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let name = Printf.sprintf "%s_%s.csv" eid (slugify (Sched_stats.Table.title t)) in
+          let name = if String.length name > 80 then String.sub name 0 80 ^ ".csv" else name in
+          Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+              Out_channel.output_string oc (Sched_stats.Table.to_csv t));
+          Buffer.add_string manifest
+            (Printf.sprintf "%s,%s,%s\n" eid name (Sched_stats.Table.title t));
+          (* When the first column is numeric (the E2/E5-style "figures"),
+             also emit an SVG line chart of the remaining numeric columns. *)
+          (match Sched_stats.Table.columns t with
+          | xcol :: _ -> (
+              match Sched_stats.Chart.of_table ~x:xcol t with
+              | [] -> ()
+              | series
+                when List.exists (fun s -> List.length s.Sched_stats.Chart.points >= 2) series
+                ->
+                  let chart =
+                    Sched_stats.Chart.render ~log_y:true
+                      ~title:(Sched_stats.Table.title t) ~x_label:xcol ~y_label:"value" series
+                  in
+                  Sched_stats.Chart.save
+                    ~path:(Filename.concat dir (Filename.remove_extension name ^ ".svg"))
+                    chart
+              | _ -> ())
+          | [] -> ())
+    in
+    let emit eid tables =
+      List.iter
+        (fun t ->
+          if csv then print_string (Sched_stats.Table.to_csv t) else Sched_stats.Table.print t;
+          write_csv eid t)
+        tables
+    in
+    (match id with
+    | "all" ->
+        List.iter
+          (fun (e, tables) ->
+            Printf.printf "[%s] %s (%s)\n" e.Sched_experiments.Registry.id
+              e.Sched_experiments.Registry.title e.Sched_experiments.Registry.reproduces;
+            emit e.Sched_experiments.Registry.id tables)
+          (Sched_experiments.Registry.run_all ~quick ())
+    | id -> (
+        match Sched_experiments.Registry.find id with
+        | Some e -> emit id (e.Sched_experiments.Registry.run ~quick)
+        | None ->
+            prerr_endline ("unknown experiment: " ^ id);
+            exit 1));
+    match out with
+    | Some dir when Buffer.length manifest > 0 ->
+        Out_channel.with_open_text (Filename.concat dir "MANIFEST.csv") (fun oc ->
+            Out_channel.output_string oc ("experiment,file,title\n" ^ Buffer.contents manifest))
+    | _ -> ()
+  in
+  let term = Term.(const action $ id_arg $ quick_arg $ csv_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's experiment tables (E1..E9, see EXPERIMENTS.md).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* adversary                                                           *)
+
+let adversary_cmd =
+  let game_arg =
+    Arg.(value & pos 0 string "flow" & info [] ~docv:"GAME" ~doc:"'flow' (Lemma 1) or 'energy' (Lemma 2).")
+  in
+  let l_arg = Arg.(value & opt float 16. & info [ "L" ] ~docv:"L" ~doc:"Lemma 1 scale (Delta = L^2).") in
+  let action game l eps alpha =
+    match game with
+    | "flow" ->
+        let run_imm inst =
+          Sched_sim.Driver.run_schedule
+            (Sched_baselines.Immediate_reject.policy ~eps Sched_baselines.Immediate_reject.Never)
+            inst
+        in
+        let run_thm1 inst =
+          fst (Rejection.Flow_reject.run (Rejection.Flow_reject.config ~eps ()) inst)
+        in
+        let play name run =
+          let result, schedule = Sched_workload.Adversary_flow.run_two_phase ~run ~eps ~l in
+          Printf.printf
+            "%-18s alg flow = %10.2f  adversary = %10.2f  ratio = %7.2f  (sqrt Delta = %.1f)\n"
+            name
+            (Metrics.flow schedule).Metrics.total_with_rejected
+            result.Sched_workload.Adversary_flow.adversary_cost
+            ((Metrics.flow schedule).Metrics.total_with_rejected
+            /. result.Sched_workload.Adversary_flow.adversary_cost)
+            (sqrt result.Sched_workload.Adversary_flow.delta)
+        in
+        play "immediate-never" run_imm;
+        play "thm1-reject" run_thm1
+    | "energy" ->
+        let st = Rejection.Energy_config_greedy.continuous ~alpha () in
+        let alg =
+          {
+            Sched_workload.Adversary_energy.name = "config-greedy";
+            place =
+              (fun ~release ~deadline ~volume ->
+                Rejection.Energy_config_greedy.continuous_place st ~release ~deadline ~volume);
+          }
+        in
+        let r = Sched_workload.Adversary_energy.run ~alpha alg in
+        Printf.printf
+          "alpha=%g rounds=%d alg-energy=%.3f adv-energy=%.3f ratio=%.3f  ((a/9)^a=%.4f, a^a=%.1f)\n"
+          alpha r.Sched_workload.Adversary_energy.rounds r.Sched_workload.Adversary_energy.alg_energy
+          r.Sched_workload.Adversary_energy.adv_energy
+          (r.Sched_workload.Adversary_energy.alg_energy
+          /. r.Sched_workload.Adversary_energy.adv_energy)
+          (Rejection.Bounds.energy_lb ~alpha)
+          (Rejection.Bounds.energy_competitive ~alpha)
+    | other ->
+        prerr_endline ("unknown game: " ^ other);
+        exit 1
+  in
+  let term = Term.(const action $ game_arg $ l_arg $ eps_arg $ alpha_arg) in
+  Cmd.v (Cmd.info "adversary" ~doc:"Play a lower-bound game (Lemma 1 or Lemma 2).") term
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let action out workload n m seed sizes =
+    let inst = Gen.instance (apply_sizes (workload_of_name ~n ~m workload) sizes) ~seed in
+    Serialize.save_instance ~path:out inst;
+    Format.printf "%a -> %s@." Instance.pp_stats inst out
+  in
+  let term = Term.(const action $ out_arg $ workload_arg $ n_arg $ m_arg $ seed_arg $ sizes_arg) in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic instance and save it (load with run --load).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+
+let bounds_cmd =
+  let action eps alpha =
+    let module B = Rejection.Bounds in
+    Printf.printf "Theorem 1 (flow-time):\n";
+    Printf.printf "  competitive ratio bound  2((1+e)/e)^2 = %.3f\n" (B.flow_competitive ~eps);
+    Printf.printf "  rejection budget         2e           = %.3f\n" (B.flow_rejection_budget ~eps);
+    Printf.printf "  rule thresholds          ceil(1/e)=%d, ceil(1+1/e)=%d\n"
+      (B.rule1_threshold ~eps) (B.rule2_threshold ~eps);
+    Printf.printf "Theorem 2 (flow+energy, alpha=%g):\n" alpha;
+    Printf.printf "  gamma (paper's closed form)      = %.4f\n" (B.gamma ~eps ~alpha);
+    Printf.printf "  gamma (numerically optimized)    = %.4f\n" (B.gamma_best ~eps ~alpha);
+    Printf.printf "  competitive ratio (exact proof)  = %.3f\n" (B.flow_energy_competitive ~eps ~alpha);
+    Printf.printf "  envelope (1+1/e)^(a/(a-1))       = %.3f\n" (B.flow_energy_envelope ~eps ~alpha);
+    Printf.printf "Theorem 3 / Lemma 2 (energy, alpha=%g):\n" alpha;
+    Printf.printf "  upper bound alpha^alpha          = %.3f\n" (B.energy_competitive ~alpha);
+    Printf.printf "  lower bound (alpha/9)^alpha      = %.5f\n" (B.energy_lb ~alpha);
+    Printf.printf "  smoothness mu=(a-1)/a            = %.4f\n" (B.smooth_mu ~alpha);
+    Printf.printf "  smoothness lambda~a^(a-1)        = %.3f\n" (B.smooth_lambda ~alpha)
+  in
+  let term = Term.(const action $ eps_arg $ alpha_arg) in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print the paper's theoretical constants.") term
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+
+let list_cmd =
+  let action () =
+    print_endline "workloads:";
+    List.iter (fun w -> print_endline ("  " ^ w)) workload_names;
+    print_endline "policies:";
+    List.iter (fun p -> print_endline ("  " ^ p)) policy_names;
+    print_endline "experiments:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-3s %s (%s)\n" e.Sched_experiments.Registry.id
+          e.Sched_experiments.Registry.title e.Sched_experiments.Registry.reproduces)
+      Sched_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, policies and experiments.") Term.(const action $ const ())
+
+let () =
+  let doc = "Online non-preemptive scheduling with rejections (SPAA 2018 reproduction)." in
+  let info = Cmd.info "rejsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; experiment_cmd; adversary_cmd; bounds_cmd; gen_cmd; list_cmd ]))

@@ -1,0 +1,82 @@
+(* The two lower-bound games of the paper, played live.
+
+   Game 1 (Lemma 1): an adversary releases elephant jobs, watches the
+   scheduler commit, then floods it with mice.  A policy that must decide
+   rejections immediately on arrival is stuck behind its own elephant; the
+   paper's algorithm simply revokes it (Rejection Rule 1).
+
+   Game 2 (Lemma 2): an adaptive adversary nests deadline windows around
+   whatever the energy-greedy commits to, forcing all jobs to overlap; its
+   own schedule runs everything at speed 1 with no overlap.
+
+   Run with: dune exec examples/adversarial_demo.exe *)
+
+open Sched_stats
+module AF = Sched_workload.Adversary_flow
+module AE = Sched_workload.Adversary_energy
+
+let () =
+  print_endline "=== Game 1: Lemma 1 (flow-time, immediate vs deferred rejection) ===";
+  let eps = 0.2 in
+  let t =
+    Table.create ~title:"ratio vs adversary's schedule as Delta = L^2 grows"
+      ~columns:[ "L"; "sqrt(Delta)"; "immediate policy"; "Theorem 1 (deferred)" ]
+  in
+  List.iter
+    (fun l ->
+      let run_immediate inst =
+        Sched_sim.Driver.run_schedule
+          (Sched_baselines.Immediate_reject.policy ~eps Sched_baselines.Immediate_reject.Never)
+          inst
+      in
+      let run_thm1 inst =
+        fst (Rejection.Flow_reject.run (Rejection.Flow_reject.config ~eps ()) inst)
+      in
+      let ratio run =
+        let result, schedule = AF.run_two_phase ~run ~eps ~l in
+        (Sched_model.Metrics.flow schedule).Sched_model.Metrics.total_with_rejected
+        /. result.AF.adversary_cost
+      in
+      Table.add_row t
+        [
+          Table.cell_float l;
+          Table.cell_float l;
+          Table.cell_float (ratio run_immediate);
+          Table.cell_float (ratio run_thm1);
+        ])
+    [ 8.; 16.; 32.; 64. ];
+  Table.print t;
+
+  print_endline "=== Game 2: Lemma 2 (energy, adaptive deadline nesting) ===";
+  let t2 =
+    Table.create ~title:"greedy energy vs adversary energy as alpha grows"
+      ~columns:[ "alpha"; "jobs released"; "greedy energy"; "adversary energy"; "ratio"; "alpha^alpha" ]
+  in
+  List.iter
+    (fun alpha ->
+      let st = Rejection.Energy_config_greedy.continuous ~alpha () in
+      let alg =
+        {
+          AE.name = "config-greedy";
+          place =
+            (fun ~release ~deadline ~volume ->
+              Rejection.Energy_config_greedy.continuous_place st ~release ~deadline ~volume);
+        }
+      in
+      let r = AE.run ~alpha alg in
+      Table.add_row t2
+        [
+          Table.cell_float alpha;
+          Table.cell_int r.AE.rounds;
+          Table.cell_float r.AE.alg_energy;
+          Table.cell_float r.AE.adv_energy;
+          Table.cell_float (r.AE.alg_energy /. r.AE.adv_energy);
+          Table.cell_float (alpha ** alpha);
+        ])
+    [ 2.; 3.; 4.; 5.; 6.; 7. ];
+  Table.print t2;
+  print_endline
+    "The adversary's jobs all overlap in the greedy's schedule (each new window\n\
+     nests strictly inside the previous execution), so the aggregate speed — and\n\
+     s^alpha energy — compounds with alpha, matching Lemma 2's (alpha/9)^alpha\n\
+     growth up to constants."

@@ -1,0 +1,57 @@
+(* Quickstart: build a small unrelated-machines instance by hand, run the
+   paper's Theorem 1 algorithm through the one-call API, and inspect the
+   schedule it produced.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Sched_model
+
+let () =
+  (* Two machines; five jobs with machine-dependent processing times.
+     Job 3 is a "elephant" that would block the queue without rejection. *)
+  let machines = Machine.fleet 2 in
+  let jobs =
+    [
+      Job.create ~id:0 ~release:0.0 ~sizes:[| 2.0; 3.0 |] ();
+      Job.create ~id:1 ~release:0.5 ~sizes:[| 4.0; 1.5 |] ();
+      Job.create ~id:2 ~release:1.0 ~sizes:[| 1.0; 6.0 |] ();
+      Job.create ~id:3 ~release:1.2 ~sizes:[| 40.0; 45.0 |] ();
+      Job.create ~id:4 ~release:2.0 ~sizes:[| 2.5; 2.0 |] ();
+    ]
+  in
+  let instance = Instance.create ~name:"quickstart" ~machines ~jobs () in
+  Format.printf "instance: %a@." Instance.pp_stats instance;
+
+  (* Run the Theorem 1 algorithm with eps = 0.25: at most 2*eps = 50%% of
+     jobs may be rejected, and the total flow-time is guaranteed within
+     2((1+eps)/eps)^2 = 50x of the offline optimum. *)
+  let result = Rejection.Api.run_flow ~eps:0.25 instance in
+
+  Format.printf "@.Per-job outcomes:@.";
+  Array.iter
+    (fun (j : Job.t) ->
+      Format.printf "  %a -> %a@." Job.pp j Outcome.pp
+        (Schedule.outcome result.Rejection.Api.schedule j.Job.id))
+    (Instance.jobs_by_release instance);
+
+  let flow = result.Rejection.Api.flow in
+  let rejection = result.Rejection.Api.rejection in
+  Format.printf "@.total flow-time (completed jobs): %.2f@." flow.Metrics.total;
+  Format.printf "total flow-time (incl. rejected):  %.2f@." flow.Metrics.total_with_rejected;
+  Format.printf "max flow: %.2f   mean flow: %.2f@." flow.Metrics.max_flow flow.Metrics.mean_flow;
+  Format.printf "rejected: %d jobs (%.0f%% of the %.0f%% budget)@." rejection.Metrics.count
+    (100. *. rejection.Metrics.fraction)
+    (100. *. result.Rejection.Api.rejection_budget);
+  Format.printf "theoretical competitive bound: %.1f@." result.Rejection.Api.competitive_bound;
+
+  (* The schedule at a glance. *)
+  Format.printf "@.%s@." (Gantt.render ~width:64 result.Rejection.Api.schedule);
+
+  (* Compare against the exact offline optimum (the instance is tiny). *)
+  match Sched_baselines.Brute_force.optimal_flow instance with
+  | Some opt ->
+      Format.printf "offline OPT (all jobs, brute force): %.2f@." opt;
+      Format.printf "empirical ratio: %.2f  (bound %.1f)@."
+        (flow.Metrics.total_with_rejected /. opt)
+        result.Rejection.Api.competitive_bound
+  | None -> ()

@@ -1,0 +1,95 @@
+open Sched_model
+
+(* DFS over "which job runs next on which machine".  A state is the set of
+   already-scheduled jobs plus each machine's free time.  We schedule jobs
+   machine by machine in chronological per-machine order; because any
+   non-preemptive schedule is reproduced by some (assignment, per-machine
+   order) pair with left-shifted starts, the search is exhaustive.
+
+   Pruning: partial cost plus a volume lower bound for the rest must beat
+   the incumbent.  A memo on (scheduled-set, rounded free times) removes
+   dominated revisits. *)
+let optimal_flow ?(max_n = 9) instance =
+  let n = Instance.n instance and m = Instance.m instance in
+  if n > max_n then None
+  else begin
+    let jobs = Instance.jobs_by_release instance in
+    let best = ref Float.infinity in
+    (* Quick incumbent from list scheduling in release order to prune early. *)
+    let greedy_cost () =
+      let free = Array.make m 0. in
+      let cost = ref 0. in
+      Array.iter
+        (fun (j : Job.t) ->
+          let besti = ref (-1) and bestc = ref Float.infinity in
+          for i = 0 to m - 1 do
+            if Job.eligible j i then begin
+              let speed = (Instance.machine instance i).Machine.speed in
+              let c = Float.max free.(i) j.release +. (Job.size j i /. speed) in
+              if c < !bestc then begin
+                bestc := c;
+                besti := i
+              end
+            end
+          done;
+          free.(!besti) <- !bestc;
+          cost := !cost +. (!bestc -. j.release))
+        jobs;
+      !cost
+    in
+    best := greedy_cost ();
+    let remaining_lb scheduled =
+      (* Each unscheduled job pays at least its minimum processing time. *)
+      let acc = ref 0. in
+      Array.iteri
+        (fun k (j : Job.t) ->
+          if not scheduled.(k) then begin
+            let mn = ref Float.infinity in
+            for i = 0 to m - 1 do
+              let speed = (Instance.machine instance i).Machine.speed in
+              if Job.eligible j i then mn := Float.min !mn (Job.size j i /. speed)
+            done;
+            acc := !acc +. !mn
+          end)
+        jobs;
+      !acc
+    in
+    let scheduled = Array.make n false in
+    let memo : (int * int list, float) Hashtbl.t = Hashtbl.create 4096 in
+    let key free =
+      let mask = ref 0 in
+      Array.iteri (fun k b -> if b then mask := !mask lor (1 lsl k)) scheduled;
+      (!mask, Array.to_list (Array.map (fun f -> int_of_float (f *. 1e6)) free))
+    in
+    let rec dfs count cost free =
+      if cost +. remaining_lb scheduled >= !best then ()
+      else if count = n then best := cost
+      else begin
+        let k = key free in
+        match Hashtbl.find_opt memo k with
+        | Some c when c <= cost +. 1e-12 -> ()
+        | _ ->
+            Hashtbl.replace memo k cost;
+            for idx = 0 to n - 1 do
+              if not scheduled.(idx) then begin
+                let j = jobs.(idx) in
+                for i = 0 to m - 1 do
+                  if Job.eligible j i then begin
+                    let speed = (Instance.machine instance i).Machine.speed in
+                    let start = Float.max free.(i) j.release in
+                    let finish = start +. (Job.size j i /. speed) in
+                    let saved = free.(i) in
+                    scheduled.(idx) <- true;
+                    free.(i) <- finish;
+                    dfs (count + 1) (cost +. finish -. j.release) free;
+                    free.(i) <- saved;
+                    scheduled.(idx) <- false
+                  end
+                done
+              end
+            done
+      end
+    in
+    dfs 0 0. (Array.make m 0.);
+    Some !best
+  end

@@ -1,0 +1,15 @@
+(** Exact offline optimum for total flow-time (tiny instances).
+
+    Enumerates, by depth-first branch and bound, every assignment of jobs to
+    machines and every service order, starting each job as early as
+    possible (for a fixed assignment and order, left-shifted starts are
+    optimal for flow-time).  The adversary of the rejection model schedules
+    {e all} jobs, so no rejection branch exists.
+
+    Exponential: intended for [n <= 9]. *)
+
+open Sched_model
+
+val optimal_flow : ?max_n:int -> Instance.t -> float option
+(** [None] when the instance exceeds [max_n] (default 9) jobs.  Otherwise
+    the exact minimum total flow-time over all non-preemptive schedules. *)

@@ -1,0 +1,49 @@
+open Sched_model
+open Sched_sim
+
+let estimated_completion view i (j : Job.t) =
+  let pending_work =
+    List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
+  in
+  Driver.remaining_time view i +. pending_work +. Job.size j i
+
+let make name pick =
+  let init _ = () in
+  let on_arrival () view (j : Job.t) =
+    (* [view] lacks the instance; recover machine count from the job. *)
+    let m = Array.length j.Job.sizes in
+    let best = ref None in
+    for i = 0 to m - 1 do
+      if Job.eligible j i then begin
+        let c = estimated_completion view i j in
+        match !best with
+        | Some (_, c') when c' <= c -> ()
+        | _ -> best := Some (i, c)
+      end
+    done;
+    let target = match !best with Some (i, _) -> i | None -> assert false in
+    Driver.dispatch target
+  in
+  let select () view i =
+    match Driver.pending view i with
+    | [] -> None
+    | first :: rest ->
+        let chosen = List.fold_left (fun acc l -> if pick i l acc then l else acc) first rest in
+        Some { Driver.job = chosen.Job.id; speed = 1.0 }
+  in
+  { Driver.name; init; on_arrival; select }
+
+let fifo =
+  let earlier _ (a : Job.t) (b : Job.t) =
+    if a.release <> b.release then a.release < b.release else a.id < b.id
+  in
+  make "greedy-fifo" earlier
+
+let spt =
+  let shorter i (a : Job.t) (b : Job.t) =
+    let pa = Job.size a i and pb = Job.size b i in
+    if pa <> pb then pa < pb
+    else if a.release <> b.release then a.release < b.release
+    else a.id < b.id
+  in
+  make "greedy-spt" shorter

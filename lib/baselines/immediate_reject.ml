@@ -1,0 +1,83 @@
+open Sched_model
+open Sched_sim
+
+type heuristic = Never | Largest_over of float | Load_threshold of float
+
+let name_of = function
+  | Never -> "immediate-never"
+  | Largest_over f -> Printf.sprintf "immediate-largest(%g)" f
+  | Load_threshold f -> Printf.sprintf "immediate-load(%g)" f
+
+type st = { mutable seen : int; mutable rejected : int }
+
+let policy ~eps heuristic =
+  if not (eps > 0. && eps < 1.) then invalid_arg "Immediate_reject.policy: eps must be in (0,1)";
+  let state = { seen = 0; rejected = 0 } in
+  let init _ =
+    state.seen <- 0;
+    state.rejected <- 0
+  in
+  let on_arrival () view (j : Job.t) =
+    state.seen <- state.seen + 1;
+    let m = Array.length j.Job.sizes in
+    let best = ref None in
+    for i = 0 to m - 1 do
+      if Job.eligible j i then begin
+        let pending_work =
+          List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
+        in
+        let c = Driver.remaining_time view i +. pending_work +. Job.size j i in
+        match !best with
+        | Some (_, c') when c' <= c -> ()
+        | _ -> best := Some (i, c)
+      end
+    done;
+    let target = match !best with Some (i, _) -> i | None -> assert false in
+    let budget_ok =
+      float_of_int (state.rejected + 1) <= eps *. float_of_int state.seen
+    in
+    let reject_now =
+      budget_ok
+      &&
+      match heuristic with
+      | Never -> false
+      | Largest_over factor ->
+          let pij = Job.size j target in
+          let pending = Driver.pending view target in
+          let count = List.length pending in
+          count > 0
+          &&
+          let avg =
+            List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l target) 0. pending
+            /. float_of_int count
+          in
+          pij > factor *. avg
+      | Load_threshold factor ->
+          let backlog =
+            Driver.remaining_time view target
+            +. List.fold_left
+                 (fun acc (l : Job.t) -> acc +. Job.size l target)
+                 0. (Driver.pending view target)
+          in
+          backlog > factor *. Job.size j target
+    in
+    if reject_now then begin
+      state.rejected <- state.rejected + 1;
+      { Driver.dispatch_to = target; reject = [ j.id ]; restart = [] }
+    end
+    else Driver.dispatch target
+  in
+  let select () view i =
+    match Driver.pending view i with
+    | [] -> None
+    | first :: rest ->
+        let shorter (a : Job.t) (b : Job.t) =
+          let pa = Job.size a i and pb = Job.size b i in
+          if pa <> pb then pa < pb
+          else if a.release <> b.release then a.release < b.release
+          else a.id < b.id
+        in
+        let chosen = List.fold_left (fun acc l -> if shorter l acc then l else acc) first rest in
+        Some { Driver.job = chosen.Job.id; speed = 1.0 }
+  in
+  { Driver.name = name_of heuristic; init; on_arrival; select }

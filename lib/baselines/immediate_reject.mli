@@ -1,0 +1,26 @@
+(** Immediate-rejection policies: the class Lemma 1 proves weak.
+
+    These policies must decide at each job's arrival — and never later —
+    whether to reject it.  The lemma shows any such policy is
+    [Omega(sqrt Delta)]-competitive; the experiment plays the paper's
+    adversary against representatives of the class. *)
+
+open Sched_sim
+
+type heuristic =
+  | Never  (** Rejects nothing: plain greedy-SPT. *)
+  | Largest_over of float
+      (** Rejects an arriving job when its best processing time exceeds the
+          given multiple of the average pending size on the target machine
+          (only while the rejection budget [eps * arrivals so far] allows). *)
+  | Load_threshold of float
+      (** Rejects an arriving job when the target machine's backlog (in
+          time) exceeds the given multiple of the job's size (budget
+          permitting). *)
+
+val policy : eps:float -> heuristic -> unit Driver.policy
+(** SPT service order, greedy-completion dispatch, with the given
+    at-arrival rejection heuristic constrained to reject at most
+    [eps * (jobs seen)] jobs. *)
+
+val name_of : heuristic -> string

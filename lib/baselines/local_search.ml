@@ -1,0 +1,117 @@
+open Sched_model
+
+type result = { cost : float; initial_cost : float; moves : int }
+
+(* A solution is, per machine, an ordered list of job ids (service order).
+   Cost of one machine: fold left-shifted starts. *)
+let machine_cost instance i order =
+  let speed = (Instance.machine instance i).Machine.speed in
+  let free = ref 0. and cost = ref 0. in
+  List.iter
+    (fun id ->
+      let j = Instance.job instance id in
+      let start = Float.max !free j.Job.release in
+      let finish = start +. (Job.size j i /. speed) in
+      free := finish;
+      cost := !cost +. (finish -. j.Job.release))
+    order;
+  !cost
+
+let total_cost instance orders =
+  let acc = ref 0. in
+  Array.iteri (fun i order -> acc := !acc +. machine_cost instance i order) orders;
+  !acc
+
+(* Greedy initial solution: jobs in release order to the machine with the
+   earliest estimated completion, appended FIFO. *)
+let greedy instance =
+  let m = Instance.m instance in
+  let orders = Array.make m [] in
+  let free = Array.make m 0. in
+  Array.iter
+    (fun (j : Job.t) ->
+      let best = ref (-1) and bestc = ref Float.infinity in
+      for i = 0 to m - 1 do
+        if Job.eligible j i then begin
+          let speed = (Instance.machine instance i).Machine.speed in
+          let c = Float.max free.(i) j.Job.release +. (Job.size j i /. speed) in
+          if c < !bestc then begin
+            bestc := c;
+            best := i
+          end
+        end
+      done;
+      free.(!best) <- !bestc;
+      orders.(!best) <- j.Job.id :: orders.(!best))
+    (Instance.jobs_by_release instance);
+  Array.map List.rev orders
+
+(* All insertion positions of [id] into [order] (as lists). *)
+let insertions id order =
+  let rec go prefix suffix acc =
+    let here = List.rev_append prefix (id :: suffix) in
+    match suffix with
+    | [] -> here :: acc
+    | x :: rest -> go (x :: prefix) rest (here :: acc)
+  in
+  go [] order []
+
+let improve ?(max_rounds = 400) instance =
+  let m = Instance.m instance in
+  let orders = greedy instance in
+  let initial_cost = total_cost instance orders in
+  let best = ref initial_cost in
+  let moves = ref 0 in
+  let try_relocate () =
+    (* First-improvement: move one job elsewhere. *)
+    let improved = ref false in
+    for src = 0 to m - 1 do
+      List.iter
+        (fun id ->
+          if not !improved then begin
+            let j = Instance.job instance id in
+            let without = List.filter (fun x -> x <> id) orders.(src) in
+            let base_src = machine_cost instance src orders.(src) in
+            for dst = 0 to m - 1 do
+              if (not !improved) && Job.eligible j dst then begin
+                let dst_order = if dst = src then without else orders.(dst) in
+                let base_dst =
+                  if dst = src then 0. else machine_cost instance dst orders.(dst)
+                in
+                let base_src' =
+                  if dst = src then 0. else machine_cost instance src without
+                in
+                List.iter
+                  (fun candidate ->
+                    if not !improved then begin
+                      let delta =
+                        if dst = src then
+                          machine_cost instance src candidate -. base_src
+                        else
+                          machine_cost instance src without
+                          +. machine_cost instance dst candidate -. base_src -. base_dst
+                      in
+                      ignore base_src';
+                      if delta < -1e-9 then begin
+                        orders.(src) <- (if dst = src then candidate else without);
+                        if dst <> src then orders.(dst) <- candidate;
+                        best := !best +. delta;
+                        incr moves;
+                        improved := true
+                      end
+                    end)
+                  (insertions id dst_order)
+              end
+            done
+          end)
+        orders.(src)
+    done;
+    !improved
+  in
+  let rounds = ref 0 in
+  while !rounds < max_rounds && try_relocate () do
+    incr rounds
+  done;
+  (* Recompute exactly to wash out accumulated deltas. *)
+  let cost = total_cost instance orders in
+  { cost; initial_cost; moves = !moves }

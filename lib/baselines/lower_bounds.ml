@@ -1,0 +1,45 @@
+open Sched_model
+
+type bound = { value : float; source : string }
+
+let volume instance =
+  let total = ref 0. in
+  Array.iter
+    (fun (j : Job.t) ->
+      let mn = ref Float.infinity in
+      for i = 0 to Instance.m instance - 1 do
+        if Job.eligible j i then begin
+          let speed = (Instance.machine instance i).Machine.speed in
+          mn := Float.min !mn (Job.size j i /. speed)
+        end
+      done;
+      total := !total +. !mn)
+    (Instance.jobs_by_release instance);
+  { value = !total; source = "volume" }
+
+let srpt instance =
+  if Instance.m instance = 1 then
+    Some { value = Srpt_single.total_flow instance; source = "srpt" }
+  else None
+
+let lp ?max_variables instance =
+  match Sched_lp.Flow_lp.solve ?max_variables instance with
+  | Some sol -> Some { value = sol.Sched_lp.Flow_lp.opt_lower_bound; source = "lp/2" }
+  | None -> None
+
+let brute ?max_n instance =
+  match Brute_force.optimal_flow ?max_n instance with
+  | Some v -> Some { value = v; source = "opt" }
+  | None -> None
+
+let best_flow ?lp_max_variables ?brute_max_n instance =
+  let candidates =
+    [ Some (volume instance); srpt instance ]
+    @ [ brute ?max_n:brute_max_n instance ]
+    @ [ lp ?max_variables:lp_max_variables instance ]
+  in
+  List.fold_left
+    (fun acc c ->
+      match c with Some b when b.value > acc.value -> b | _ -> acc)
+    { value = 0.; source = "none" }
+    candidates

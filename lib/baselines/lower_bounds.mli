@@ -1,0 +1,26 @@
+(** Lower bounds on the offline optimum, used as the denominator of every
+    measured competitive ratio.
+
+    Every bound here is provably below (or equal to) the true OPT, so
+    [algorithm cost / best lower bound] is an {e upper bound} on the
+    empirical competitive ratio — the honest direction for checking the
+    paper's guarantees. *)
+
+open Sched_model
+
+type bound = { value : float; source : string }
+
+val volume : Instance.t -> bound
+(** [sum_j min_i p_ij / speed_i]: every job must at least be processed. *)
+
+val srpt : Instance.t -> bound option
+(** Preemptive SRPT optimum; only valid (and returned) for [m = 1]. *)
+
+val lp : ?max_variables:int -> Instance.t -> bound option
+(** Half the discretized time-indexed LP value (see {!Sched_lp.Flow_lp}). *)
+
+val brute : ?max_n:int -> Instance.t -> bound option
+(** Exact OPT for tiny instances — the tightest possible bound. *)
+
+val best_flow : ?lp_max_variables:int -> ?brute_max_n:int -> Instance.t -> bound
+(** The largest available bound among the above. *)

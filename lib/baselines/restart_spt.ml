@@ -1,0 +1,100 @@
+open Sched_model
+open Sched_sim
+
+type config = { kill_factor : float; max_restarts : int }
+
+let config ?(kill_factor = 4.) ?(max_restarts = 2) () =
+  if kill_factor <= 1. then invalid_arg "Restart_spt.config: kill_factor must exceed 1";
+  if max_restarts < 0 then invalid_arg "Restart_spt.config: max_restarts must be >= 0";
+  { kill_factor; max_restarts }
+
+type state = {
+  cfg : config;
+  instance : Instance.t;
+  restarted : int array;  (** Times each job has been killed. *)
+  mutable total_restarts : int;
+}
+
+let spt_precede i (a : Job.t) (b : Job.t) =
+  let pa = Job.size a i and pb = Job.size b i in
+  if pa <> pb then pa < pb
+  else if a.release <> b.release then a.release < b.release
+  else a.id < b.id
+
+let init cfg instance =
+  { cfg; instance; restarted = Array.make (Instance.n instance) 0; total_restarts = 0 }
+
+let on_arrival st view (j : Job.t) =
+  (* Greedy estimated-completion dispatch, as the non-rejecting baselines. *)
+  let best = ref None in
+  for i = 0 to Instance.m st.instance - 1 do
+    if Job.eligible j i then begin
+      let pending_work =
+        List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
+      in
+      let c = Driver.remaining_time view i +. pending_work +. Job.size j i in
+      match !best with
+      | Some (_, c') when c' <= c -> ()
+      | _ -> best := Some (i, c)
+    end
+  done;
+  let target = match !best with Some (i, _) -> i | None -> assert false in
+  let restart =
+    match Driver.running_on view target with
+    | Some r ->
+        let k = r.Driver.job in
+        if
+          st.restarted.(k.Job.id) < st.cfg.max_restarts
+          && Driver.remaining_time view target > st.cfg.kill_factor *. Job.size j target
+        then begin
+          st.restarted.(k.Job.id) <- st.restarted.(k.Job.id) + 1;
+          st.total_restarts <- st.total_restarts + 1;
+          [ k.Job.id ]
+        end
+        else []
+    | None -> []
+  in
+  { Driver.dispatch_to = target; reject = []; restart }
+
+let select _st view i =
+  match Driver.pending view i with
+  | [] -> None
+  | first :: rest ->
+      let shortest =
+        List.fold_left (fun acc l -> if spt_precede i l acc then l else acc) first rest
+      in
+      Some { Driver.job = shortest.Job.id; speed = 1.0 }
+
+let policy cfg = { Driver.name = "restart-spt"; init = init cfg; on_arrival; select }
+
+let restarts st = st.total_restarts
+
+let run ?trace cfg instance =
+  let schedule, st = Driver.run ?trace (policy cfg) instance in
+  Schedule.assert_valid ~allow_restarts:true ~check_deadlines:false schedule;
+  (schedule, st)
+
+let wasted_work (s : Schedule.t) =
+  (* Volume of every segment except each completed job's final one. *)
+  let final : (Job.id, Schedule.segment) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Schedule.segment) ->
+      match Hashtbl.find_opt final g.Schedule.job with
+      | Some g' when g'.Schedule.start >= g.Schedule.start -> ()
+      | _ -> Hashtbl.replace final g.Schedule.job g)
+    s.Schedule.segments;
+  List.fold_left
+    (fun acc (g : Schedule.segment) ->
+      let is_final =
+        match Hashtbl.find_opt final g.Schedule.job with
+        | Some g' -> g'.Schedule.start = g.Schedule.start
+        | None -> false
+      in
+      let completed =
+        match Schedule.outcome s g.Schedule.job with
+        | Outcome.Completed _ -> true
+        | Outcome.Rejected _ -> false
+      in
+      if completed && is_final then acc
+      else acc +. ((g.Schedule.stop -. g.Schedule.start) *. g.Schedule.speed))
+    0. s.Schedule.segments

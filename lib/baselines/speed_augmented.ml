@@ -1,0 +1,19 @@
+open Sched_model
+
+let speedup_instance factor instance =
+  if factor <= 0. then invalid_arg "Speed_augmented: factor must be positive";
+  let machines =
+    Array.map
+      (fun (mc : Machine.t) -> Machine.with_speed mc (mc.Machine.speed *. factor))
+      (Array.init (Instance.m instance) (Instance.machine instance))
+  in
+  let jobs = Array.to_list (Instance.jobs_by_release instance) in
+  Instance.create
+    ~name:(Printf.sprintf "%s(+speed %g)" instance.Instance.name factor)
+    ~machines ~jobs ()
+
+let run ?trace ~eps_s ~eps_r instance =
+  if eps_s <= 0. then invalid_arg "Speed_augmented.run: eps_s must be positive";
+  let fast = speedup_instance (1. +. eps_s) instance in
+  let cfg = Rejection.Flow_reject.config ~rule1:true ~rule2:false ~eps:eps_r () in
+  fst (Rejection.Flow_reject.run ?trace cfg fast)

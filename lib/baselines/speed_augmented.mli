@@ -1,0 +1,24 @@
+(** Rendition of the ESA 2016 predecessor algorithm ([5] in the paper):
+    speed augmentation [(1 + eps_s)] combined with an [eps_r] rejection
+    budget.
+
+    The original gives an [O(1/(eps_s eps_r))]-competitive algorithm whose
+    machines run [(1 + eps_s)] times faster than the adversary's.  We
+    reproduce its behaviour by running the paper's dual-fitting dispatch
+    and Rule-1-only rejection (the rule [5] uses) on a fleet whose speed
+    factors are scaled by [(1 + eps_s)]; flow-times are measured in real
+    time, so the algorithm genuinely benefits from the extra speed while
+    OPT bounds are computed against the unit-speed fleet.  See DESIGN.md's
+    substitution notes. *)
+
+open Sched_model
+open Sched_sim
+
+val run :
+  ?trace:Trace.t -> eps_s:float -> eps_r:float -> Instance.t -> Schedule.t
+(** The returned schedule's instance is the sped-up copy; its job ids and
+    releases match the original, so flow metrics are directly
+    comparable. *)
+
+val speedup_instance : float -> Instance.t -> Instance.t
+(** Scales every machine's speed factor by [1 + eps_s]. *)

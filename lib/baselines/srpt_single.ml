@@ -1,0 +1,54 @@
+open Sched_model
+
+(* Event-driven SRPT: between consecutive arrivals, repeatedly run the job
+   with the smallest remaining time to completion or until the next
+   arrival. *)
+let total_flow instance =
+  if Instance.m instance <> 1 then invalid_arg "Srpt_single.total_flow: needs one machine";
+  let jobs = Instance.jobs_by_release instance in
+  let n = Array.length jobs in
+  let speed = (Instance.machine instance 0).Machine.speed in
+  let remaining = Array.map (fun (j : Job.t) -> Job.size j 0 /. speed) jobs in
+  (* Index into [jobs] (release order), not job ids. *)
+  let alive = ref [] in
+  let total = ref 0. in
+  let clock = ref 0. in
+  let pick () =
+    match !alive with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left (fun acc k -> if remaining.(k) < remaining.(acc) then k else acc)
+             first rest)
+  in
+  let run_until horizon =
+    (* Advance the machine to [horizon] (or to emptiness). *)
+    let continue = ref true in
+    while !continue do
+      match pick () with
+      | None ->
+          clock := Float.max !clock horizon;
+          continue := false
+      | Some k ->
+          let span = horizon -. !clock in
+          if span <= 0. then continue := false
+          else if remaining.(k) <= span then begin
+            clock := !clock +. remaining.(k);
+            remaining.(k) <- 0.;
+            alive := List.filter (fun x -> x <> k) !alive;
+            total := !total +. (!clock -. jobs.(k).Job.release)
+          end
+          else begin
+            remaining.(k) <- remaining.(k) -. span;
+            clock := horizon;
+            continue := false
+          end
+    done
+  in
+  for k = 0 to n - 1 do
+    run_until jobs.(k).Job.release;
+    clock := Float.max !clock jobs.(k).Job.release;
+    alive := k :: !alive
+  done;
+  run_until Float.infinity;
+  !total

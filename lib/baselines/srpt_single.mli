@@ -1,0 +1,11 @@
+(** Preemptive SRPT on a single machine.
+
+    SRPT is optimal for preemptive total flow-time on one machine, and a
+    preemptive optimum lower-bounds the non-preemptive one, so this gives a
+    strong OPT lower bound for [m = 1] instances (the Lemma 1 setting). *)
+
+open Sched_model
+
+val total_flow : Instance.t -> float
+(** Total flow-time of the SRPT schedule of all jobs.  Requires a
+    single-machine instance. *)

@@ -1,0 +1,46 @@
+(** One-call entry points for the three algorithms of the paper.
+
+    Each runner returns the validated schedule together with the metrics a
+    caller typically wants and the theoretical guarantee it should be
+    checked against.  The examples and the CLI are built on this module;
+    experiments use the underlying modules directly for instrumentation. *)
+
+open Sched_model
+
+type flow_result = {
+  schedule : Schedule.t;
+  flow : Metrics.flow;
+  rejection : Metrics.rejection;
+  competitive_bound : float;
+      (** [2((1+eps_eff)/eps_eff)^2] at the effective epsilon
+          [1/ceil(1/eps)] the integral counters realize — the ratio the
+          theorem actually proves for this run (Theorem 1). *)
+  rejection_budget : float;  (** [2 eps] (Theorem 1). *)
+}
+
+val run_flow : ?eps:float -> Instance.t -> flow_result
+(** Theorem 1 algorithm; [eps] defaults to [0.25].  The returned schedule
+    has been checked by {!Sched_model.Schedule.validate}. *)
+
+type flow_energy_result = {
+  schedule : Schedule.t;
+  objective : float;  (** Weighted flow-time plus energy. *)
+  weighted_flow : float;
+  energy : float;
+  rejection : Metrics.rejection;
+  competitive_bound : float;  (** Theorem 2's constant at the best gamma. *)
+  weight_budget : float;  (** [eps] fraction of total weight. *)
+}
+
+val run_flow_energy : ?eps:float -> Instance.t -> flow_energy_result
+(** Theorem 2 algorithm; [eps] defaults to [0.25].  Machine [alpha]s come
+    from the instance. *)
+
+type energy_result = {
+  schedule : Schedule.t;
+  energy : float;
+  competitive_bound : float;  (** [alpha^alpha] (Theorem 3). *)
+}
+
+val run_energy_min : Instance.t -> energy_result
+(** Theorem 3 greedy; requires deadline-carrying, slot-aligned jobs. *)

@@ -1,0 +1,104 @@
+open Sched_model
+open Sched_sim
+
+type config = { eps : float; rule1 : bool; rule2 : bool }
+
+let config ?(rule1 = true) ?(rule2 = true) ~eps () =
+  if not (eps > 0. && eps < 1.) then
+    invalid_arg "Flow_reject_weighted.config: eps must be in (0,1)";
+  { eps; rule1; rule2 }
+
+type state = {
+  cfg : config;
+  instance : Instance.t;
+  v : float array;  (** Weight accumulated against the running job. *)
+  c : float array;  (** Weight accumulated per machine since last reset. *)
+  mutable rej1 : int;
+  mutable rej2 : int;
+}
+
+(* Highest density first; ties by release then id. *)
+let precede i (a : Job.t) (b : Job.t) =
+  let da = a.weight /. Job.size a i and db = b.weight /. Job.size b i in
+  if da <> db then da > db
+  else if a.release <> b.release then a.release < b.release
+  else a.id < b.id
+
+(* Largest processing time among pending (for Rule 2w's victim). *)
+let largest_pending i (j_new : Job.t) pending =
+  let bigger (a : Job.t) (b : Job.t) =
+    let pa = Job.size a i and pb = Job.size b i in
+    if pa <> pb then pa > pb else a.id > b.id
+  in
+  List.fold_left (fun worst l -> if bigger l worst then l else worst) j_new pending
+
+let lambda_ij eps i (j : Job.t) pending =
+  let pij = Job.size j i in
+  let before = ref 0. and after_w = ref 0. in
+  List.iter
+    (fun (l : Job.t) ->
+      if precede i l j then before := !before +. Job.size l i else after_w := !after_w +. l.weight)
+    pending;
+  (j.weight *. ((pij /. eps) +. !before +. pij)) +. (!after_w *. pij)
+
+let argmin_machine instance (j : Job.t) cost =
+  let best = ref None in
+  for i = 0 to Instance.m instance - 1 do
+    if Job.eligible j i then begin
+      let c = cost i in
+      match !best with
+      | Some (_, c') when c' <= c -> ()
+      | _ -> best := Some (i, c)
+    end
+  done;
+  match !best with Some (i, _) -> i | None -> assert false
+
+let init cfg instance =
+  {
+    cfg;
+    instance;
+    v = Array.make (Instance.n instance) 0.;
+    c = Array.make (Instance.m instance) 0.;
+    rej1 = 0;
+    rej2 = 0;
+  }
+
+let on_arrival st view (j : Job.t) =
+  let eps = st.cfg.eps in
+  let target =
+    argmin_machine st.instance j (fun i -> lambda_ij eps i j (Driver.pending view i))
+  in
+  st.c.(target) <- st.c.(target) +. j.weight;
+  let rejections = ref [] in
+  (match Driver.running_on view target with
+  | Some r ->
+      let k = r.Driver.job in
+      st.v.(k.Job.id) <- st.v.(k.Job.id) +. j.weight;
+      if st.cfg.rule1 && st.v.(k.Job.id) > k.Job.weight /. eps then begin
+        rejections := k.Job.id :: !rejections;
+        st.rej1 <- st.rej1 + 1
+      end
+  | None -> ());
+  if st.cfg.rule2 then begin
+    let victim = largest_pending target j (Driver.pending view target) in
+    if st.c.(target) >= (1. +. (1. /. eps)) *. victim.Job.weight then begin
+      rejections := victim.Job.id :: !rejections;
+      st.c.(target) <- 0.;
+      st.rej2 <- st.rej2 + 1
+    end
+  end;
+  { Driver.dispatch_to = target; reject = List.rev !rejections; restart = [] }
+
+let select st view i =
+  match Driver.pending view i with
+  | [] -> None
+  | first :: rest ->
+      let head = List.fold_left (fun acc l -> if precede i l acc then l else acc) first rest in
+      st.v.(head.Job.id) <- 0.;
+      Some { Driver.job = head.Job.id; speed = 1.0 }
+
+let policy cfg = { Driver.name = "flow-reject-weighted"; init = init cfg; on_arrival; select }
+
+let rejections st = (st.rej1, st.rej2)
+
+let run ?trace cfg instance = Driver.run ?trace (policy cfg) instance

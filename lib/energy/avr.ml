@@ -1,0 +1,21 @@
+let energy ~alpha jobs =
+  if alpha < 1. then invalid_arg "Avr.energy: alpha must be >= 1";
+  let points =
+    List.concat_map (fun (j : Yds.job) -> [ j.Yds.release; j.Yds.deadline ]) jobs
+    |> List.sort_uniq compare
+  in
+  let rec sweep acc = function
+    | a :: (b :: _ as rest) ->
+        let mid = (a +. b) /. 2. in
+        let speed =
+          List.fold_left
+            (fun s (j : Yds.job) ->
+              if j.Yds.release <= mid && mid < j.Yds.deadline then
+                s +. (j.Yds.volume /. (j.Yds.deadline -. j.Yds.release))
+              else s)
+            0. jobs
+        in
+        sweep (acc +. ((b -. a) *. (speed ** alpha))) rest
+    | _ -> acc
+  in
+  sweep 0. points

@@ -1,0 +1,9 @@
+(** The AVERAGE RATE online heuristic (Yao, Demers, Shenker 1995):
+    every deadline job is processed at its average density
+    [p_j / (d_j - r_j)] spread uniformly over its window (preemptive,
+    single machine).  [2^(alpha-1) alpha^alpha]-competitive classically;
+    here it serves as the preemptive online comparator for Theorem 3's
+    non-preemptive greedy. *)
+
+val energy : alpha:float -> Yds.job list -> float
+(** Energy of the AVR speed profile [s(t) = sum of active densities]. *)

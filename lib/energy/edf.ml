@@ -1,0 +1,130 @@
+let min_speed jobs =
+  let t1s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
+  let t2s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
+  List.fold_left
+    (fun acc t1 ->
+      List.fold_left
+        (fun acc t2 ->
+          if t2 > t1 then begin
+            let volume =
+              List.fold_left
+                (fun v (j : Yds.job) ->
+                  if j.Yds.release >= t1 && j.Yds.deadline <= t2 then v +. j.Yds.volume else v)
+                0. jobs
+            in
+            Float.max acc (volume /. (t2 -. t1))
+          end
+          else acc)
+        acc t2s)
+    0. t1s
+
+let feasible ~speed jobs =
+  if speed <= 0. then invalid_arg "Edf.feasible: speed must be positive";
+  (* Event-driven preemptive EDF at constant speed. *)
+  let sorted = List.sort (fun (a : Yds.job) b -> compare a.Yds.release b.Yds.release) jobs in
+  let active : (float * float ref) list ref = ref [] (* (deadline, remaining) *) in
+  let ok = ref true in
+  let run_until t t' =
+    (* Serve EDF during [t, t'). *)
+    let budget = ref ((t' -. t) *. speed) in
+    let rec serve () =
+      match List.sort (fun (d1, _) (d2, _) -> compare d1 d2) !active with
+      | [] -> ()
+      | (d, rem) :: _ ->
+          if !budget <= 0. then ()
+          else begin
+            let take = Float.min !rem !budget in
+            rem := !rem -. take;
+            budget := !budget -. take;
+            if !rem <= 1e-12 then begin
+              active := List.filter (fun (_, r) -> r != rem) !active;
+              serve ()
+            end;
+            ignore d
+          end
+    in
+    serve ();
+    (* Deadline misses: any active job whose deadline passed within [t, t']. *)
+    List.iter (fun (d, rem) -> if d <= t' +. 1e-12 && !rem > 1e-9 then ok := false) !active
+  in
+  let clock = ref 0. in
+  List.iter
+    (fun (j : Yds.job) ->
+      (* Advance to this release, checking intermediate deadlines too. *)
+      let deadlines =
+        List.filter (fun (d, _) -> d > !clock && d < j.Yds.release) !active
+        |> List.map fst |> List.sort_uniq compare
+      in
+      List.iter
+        (fun d ->
+          run_until !clock d;
+          clock := d)
+        deadlines;
+      run_until !clock j.Yds.release;
+      clock := j.Yds.release;
+      active := (j.Yds.deadline, ref j.Yds.volume) :: !active)
+    sorted;
+  (* Drain the tail, stopping at each remaining deadline. *)
+  let rest = List.map fst !active |> List.sort_uniq compare in
+  List.iter
+    (fun d ->
+      run_until !clock d;
+      clock := Float.max !clock d)
+    rest;
+  !ok
+
+let yds_peak_speed ~alpha jobs =
+  ignore alpha;
+  (* The YDS construction peels critical intervals in non-increasing
+     intensity order, so the peak speed is the first (maximum) intensity —
+     which is exactly [min_speed]. We recompute it via the same peeling to
+     keep the cross-check independent of the closed form. *)
+  let rec peel jobs peak =
+    if jobs = [] then peak
+    else begin
+      let t1s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
+      let t2s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
+      let best = ref None in
+      List.iter
+        (fun t1 ->
+          List.iter
+            (fun t2 ->
+              if t2 > t1 then begin
+                let volume =
+                  List.fold_left
+                    (fun v (j : Yds.job) ->
+                      if j.Yds.release >= t1 && j.Yds.deadline <= t2 then v +. j.Yds.volume
+                      else v)
+                    0. jobs
+                in
+                if volume > 0. then begin
+                  let g = volume /. (t2 -. t1) in
+                  match !best with
+                  | Some (g', _, _) when g' >= g -> ()
+                  | _ -> best := Some (g, t1, t2)
+                end
+              end)
+            t2s)
+        t1s;
+      match !best with
+      | None -> peak
+      | Some (g, t1, t2) ->
+          let len = t2 -. t1 in
+          let squeeze t = if t <= t1 then t else if t >= t2 then t -. len else t1 in
+          let rest =
+            List.filter_map
+              (fun (j : Yds.job) ->
+                if j.Yds.release >= t1 && j.Yds.deadline <= t2 then None
+                else
+                  Some
+                    {
+                      j with
+                      Yds.release = squeeze j.Yds.release;
+                      deadline = squeeze j.Yds.deadline;
+                    })
+              jobs
+          in
+          peel rest (Float.max peak g)
+    end
+  in
+  peel jobs 0.

@@ -1,0 +1,105 @@
+open Sched_model
+
+let deadline_energy_lb instance =
+  let total = ref 0. in
+  Array.iter
+    (fun (j : Job.t) ->
+      match j.deadline with
+      | None -> invalid_arg "Energy_bounds.deadline_energy_lb: job without deadline"
+      | Some d ->
+          let span = d -. j.release in
+          let best = ref Float.infinity in
+          for i = 0 to Instance.m instance - 1 do
+            if Job.eligible j i then begin
+              let alpha = (Instance.machine instance i).Machine.alpha in
+              let p = Job.size j i in
+              best := Float.min !best ((p ** alpha) /. (span ** (alpha -. 1.)))
+            end
+          done;
+          total := !total +. !best)
+    (Instance.jobs_by_release instance);
+  !total
+
+let yds_lb instance =
+  if Instance.m instance <> 1 then None
+  else begin
+    let alpha = (Instance.machine instance 0).Machine.alpha in
+    Some (Yds.optimal_energy ~alpha (Yds.of_instance instance ~machine:0))
+  end
+
+let assignment_yds_lb ?(max_n = 14) instance =
+  let n = Instance.n instance and m = Instance.m instance in
+  if n > max_n || m > 3 || n = 0 then None
+  else begin
+    let jobs = Instance.jobs_by_release instance in
+    let assignment = Array.make n 0 in
+    let best = ref Float.infinity in
+    let rec go k =
+      if k = n then begin
+        (* Sum per-machine YDS optima for this assignment. *)
+        let cost = ref 0. in
+        (try
+           for i = 0 to m - 1 do
+             let mine = ref [] in
+             Array.iteri
+               (fun idx (j : Job.t) ->
+                 if assignment.(idx) = i then begin
+                   let volume = Job.size j i in
+                   if not (Float.is_finite volume) then raise Exit;
+                   mine :=
+                     { Yds.release = j.release; deadline = Option.get j.deadline; volume }
+                     :: !mine
+                 end)
+               jobs;
+             let alpha = (Instance.machine instance i).Machine.alpha in
+             cost := !cost +. Yds.optimal_energy ~alpha !mine;
+             if !cost >= !best then raise Exit
+           done;
+           if !cost < !best then best := !cost
+         with Exit -> ())
+      end
+      else
+        for i = 0 to m - 1 do
+          if Job.eligible jobs.(k) i then begin
+            assignment.(k) <- i;
+            go (k + 1)
+          end
+        done
+    in
+    go 0;
+    if Float.is_finite !best then Some !best else None
+  end
+
+let best_deadline_energy instance =
+  let superadd = deadline_energy_lb instance in
+  let candidates =
+    [ Some (superadd, "per-job");
+      Option.map (fun v -> (v, "yds")) (yds_lb instance);
+      Option.map (fun v -> (v, "assign-yds")) (assignment_yds_lb instance) ]
+  in
+  List.fold_left
+    (fun (bv, bs) c -> match c with Some (v, s) when v > bv -> (v, s) | _ -> (bv, bs))
+    (0., "none") candidates
+
+let flow_energy_lb instance =
+  let total = ref 0. in
+  Array.iter
+    (fun (j : Job.t) ->
+      let best = ref Float.infinity in
+      for i = 0 to Instance.m instance - 1 do
+        if Job.eligible j i then begin
+          let alpha = (Instance.machine instance i).Machine.alpha in
+          let p = Job.size j i in
+          let cost =
+            if alpha <= 1. then p *. j.weight
+            else begin
+              let s = Power.optimal_speed_for_flow ~alpha ~weight:j.weight in
+              p *. ((j.weight /. s) +. (s ** (alpha -. 1.)))
+            end
+          in
+          best := Float.min !best cost
+        end
+      done;
+      total := !total +. !best)
+    (Instance.jobs_by_release instance);
+  !total

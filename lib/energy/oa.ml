@@ -1,0 +1,80 @@
+(* Active job: deadline plus remaining volume; kept sorted by deadline
+   (EDF order). *)
+type active = { deadline : float; mutable rem : float }
+
+(* The critical prefix: the deadline d maximizing W(d)/(d - t) over active
+   jobs (active is EDF-sorted, all deadlines > t for a feasible state). *)
+let critical t active =
+  let best = ref None in
+  let acc = ref 0. in
+  List.iter
+    (fun a ->
+      acc := !acc +. a.rem;
+      let span = a.deadline -. t in
+      if span > 0. then begin
+        let g = !acc /. span in
+        match !best with
+        | Some (g', _) when g' >= g -> ()
+        | _ -> best := Some (g, a.deadline)
+      end)
+    active;
+  !best
+
+(* Consume [volume] from the active list in EDF order. *)
+let consume active volume =
+  let v = ref volume in
+  List.iter
+    (fun a ->
+      if !v > 0. then begin
+        let take = Float.min a.rem !v in
+        a.rem <- a.rem -. take;
+        v := !v -. take
+      end)
+    active;
+  List.filter (fun a -> a.rem > 1e-12) active
+
+(* Run the OA plan from [t] to [horizon], returning (energy, t', active'). *)
+let rec advance ~alpha t horizon active energy =
+  if active = [] || t >= horizon then (energy, Float.max t (Float.min horizon t), active)
+  else begin
+    match critical t active with
+    | None -> (energy, t, active)
+    | Some (g, dstar) ->
+        let run_until = Float.min horizon dstar in
+        let dur = run_until -. t in
+        if dur <= 0. then (energy, t, active)
+        else begin
+          let energy = energy +. ((g ** alpha) *. dur) in
+          let active = consume active (g *. dur) in
+          advance ~alpha run_until horizon active energy
+        end
+  end
+
+let energy ~alpha jobs =
+  if alpha < 1. then invalid_arg "Oa.energy: alpha must be >= 1";
+  List.iter
+    (fun (j : Yds.job) ->
+      if j.Yds.volume <= 0. || j.Yds.deadline <= j.Yds.release then
+        invalid_arg "Oa.energy: bad job")
+    jobs;
+  let sorted =
+    List.sort (fun (a : Yds.job) b -> compare a.Yds.release b.Yds.release) jobs
+  in
+  let insert_edf active (j : Yds.job) =
+    let entry = { deadline = j.Yds.deadline; rem = j.Yds.volume } in
+    let rec go = function
+      | [] -> [ entry ]
+      | a :: rest -> if entry.deadline < a.deadline then entry :: a :: rest else a :: go rest
+    in
+    go active
+  in
+  let rec loop t active energy = function
+    | [] ->
+        let e, _, _ = advance ~alpha t Float.infinity active energy in
+        e
+    | (j : Yds.job) :: rest ->
+        let e, t', active' = advance ~alpha t j.Yds.release active energy in
+        let t' = Float.max t' j.Yds.release in
+        loop t' (insert_edf active' j) e rest
+  in
+  loop 0. [] 0. sorted

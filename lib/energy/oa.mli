@@ -1,0 +1,14 @@
+(** The Optimal Available (OA) online algorithm (Bansal, Kimbrel, Pruhs)
+    for preemptive single-machine speed scaling with deadlines.
+
+    At every arrival OA recomputes the YDS-optimal plan for the currently
+    remaining work and follows it until the next arrival: the speed at time
+    [t] is [max_d W(d, t) / (d - t)] where [W(d, t)] is the remaining
+    volume with deadline at most [d], served EDF.  OA is
+    [alpha^alpha]-competitive — the same constant Theorem 3 achieves
+    {e non-preemptively} — making it the natural preemptive-online
+    comparator for the paper's greedy. *)
+
+val energy : alpha:float -> Yds.job list -> float
+(** Total energy of the OA execution.  Jobs become known at their release
+    times; deadlines must be strictly after releases, volumes positive. *)

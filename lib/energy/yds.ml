@@ -1,0 +1,71 @@
+type job = { release : float; deadline : float; volume : float }
+
+let of_instance instance ~machine =
+  Array.to_list
+    (Array.map
+       (fun (j : Sched_model.Job.t) ->
+         match j.Sched_model.Job.deadline with
+         | None -> invalid_arg "Yds.of_instance: job without deadline"
+         | Some d ->
+             let volume = Sched_model.Job.size j machine in
+             if not (Float.is_finite volume) then
+               invalid_arg "Yds.of_instance: job not eligible on machine";
+             { release = j.Sched_model.Job.release; deadline = d; volume })
+       (Sched_model.Instance.jobs_by_release instance))
+
+(* One round: find the interval [t1, t2] (endpoints among releases and
+   deadlines) maximizing the intensity of fully-contained jobs. *)
+let critical_interval jobs =
+  let t1s = List.sort_uniq compare (List.map (fun j -> j.release) jobs) in
+  let t2s = List.sort_uniq compare (List.map (fun j -> j.deadline) jobs) in
+  let best = ref None in
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          if t2 > t1 then begin
+            let volume =
+              List.fold_left
+                (fun acc j -> if j.release >= t1 && j.deadline <= t2 then acc +. j.volume else acc)
+                0. jobs
+            in
+            if volume > 0. then begin
+              let intensity = volume /. (t2 -. t1) in
+              match !best with
+              | Some (gi, _, _) when gi >= intensity -> ()
+              | _ -> best := Some (intensity, t1, t2)
+            end
+          end)
+        t2s)
+    t1s;
+  !best
+
+let optimal_energy ~alpha jobs =
+  if alpha < 1. then invalid_arg "Yds.optimal_energy: alpha must be >= 1";
+  List.iter
+    (fun j ->
+      if j.volume <= 0. || j.deadline <= j.release then
+        invalid_arg "Yds.optimal_energy: bad job")
+    jobs;
+  let rec loop jobs energy =
+    if jobs = [] then energy
+    else begin
+      match critical_interval jobs with
+      | None -> energy
+      | Some (intensity, t1, t2) ->
+          let inside j = j.release >= t1 && j.deadline <= t2 in
+          let energy = energy +. ((intensity ** alpha) *. (t2 -. t1)) in
+          let len = t2 -. t1 in
+          (* Compress [t1, t2] out of the timeline for the survivors. *)
+          let squeeze t = if t <= t1 then t else if t >= t2 then t -. len else t1 in
+          let rest =
+            List.filter_map
+              (fun j ->
+                if inside j then None
+                else Some { j with release = squeeze j.release; deadline = squeeze j.deadline })
+              jobs
+          in
+          loop rest energy
+    end
+  in
+  loop jobs 0.

@@ -1,0 +1,17 @@
+(** The YDS offline algorithm (Yao, Demers, Shenker 1995): minimum-energy
+    {e preemptive} speed scaling of deadline jobs on one machine with
+    [P(s) = s^alpha].
+
+    The preemptive optimum lower-bounds the non-preemptive optimum on a
+    single machine, making YDS the reference denominator for the Theorem 3
+    experiments. *)
+
+type job = { release : float; deadline : float; volume : float }
+
+val optimal_energy : alpha:float -> job list -> float
+(** Total energy of the YDS schedule (exact, via repeated critical-interval
+    peeling).  Jobs must have [release < deadline] and positive volume. *)
+
+val of_instance : Sched_model.Instance.t -> machine:int -> job list
+(** Extract single-machine deadline jobs using the sizes of [machine];
+    requires every job to carry a deadline and be eligible there. *)

@@ -1,0 +1,10 @@
+(** E11 (extension, "Table 8"): weighted total flow-time with rejections.
+
+    The paper leaves weighted flow-time open (without rejection it has an
+    Omega(n) lower bound); this experiment evaluates the natural weighted
+    transplant of its machinery ({!Rejection.Flow_reject_weighted}) against
+    the non-rejecting highest-density-first greedy and the unweighted
+    Theorem 1 algorithm, and checks the [2 eps] weight budget the charging
+    argument still gives. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,11 @@
+(** E12 (extension, "Table 9"): tail flow-time.
+
+    The paper's objective is total (average) flow-time, but its motivation
+    — elephants blocking non-preemptive queues — is a {e tail} phenomenon,
+    and the related-work line [6] (Choudhury et al.) rejects jobs precisely
+    to control maximum flow-time.  This experiment reports p50/p90/p99/max
+    flow-time of the Theorem 1 algorithm against the non-rejecting
+    baselines on the elephant-heavy workloads, showing rejection buys its
+    largest wins in the tail. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

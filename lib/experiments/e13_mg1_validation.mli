@@ -1,0 +1,10 @@
+(** E13 (validation, "Table 10"): simulator cross-check against queueing
+    theory.
+
+    A single machine under Poisson arrivals with FIFO service is an M/G/1
+    queue; the event-driven driver's measured mean flow-time must match the
+    exact Pollaczek-Khinchine prediction.  Any systematic discrepancy would
+    invalidate every other experiment, so this is the reproduction's
+    ground-truth anchor. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

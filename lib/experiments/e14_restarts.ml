@@ -1,0 +1,74 @@
+open Sched_stats
+open Sched_model
+module FR = Rejection.Flow_reject
+module RS = Sched_baselines.Restart_spt
+
+let run ~quick =
+  let n = Exp_util.scale ~quick 200 and m = 4 in
+  let table =
+    Table.create
+      ~title:"E14: restart relaxation vs rejection (flow ratio vs volume LB; mean over seeds)"
+      ~columns:
+        [ "workload"; "policy"; "ratio"; "p99-flow"; "rej%"; "restarts"; "wasted-work%" ]
+  in
+  let workloads =
+    if quick then [ Sched_workload.Suite.flow_bimodal ~n ~m ]
+    else
+      [
+        Sched_workload.Suite.flow_bimodal ~n ~m;
+        Sched_workload.Suite.flow_pareto ~n ~m;
+        Sched_workload.Suite.flow_uniform ~n ~m;
+      ]
+  in
+  let policies =
+    [
+      ( "thm1-reject(0.2)",
+        fun inst ->
+          let s, _ = FR.run (FR.config ~eps:0.2 ()) inst in
+          (s, 0, 0.) );
+      ( "restart-spt",
+        fun inst ->
+          let s, st = RS.run (RS.config ()) inst in
+          (s, RS.restarts st, RS.wasted_work s) );
+      ( "no relaxation",
+        fun inst ->
+          let s, _ = FR.run (FR.config ~eps:0.2 ~rule1:false ~rule2:false ()) inst in
+          (s, 0, 0.) );
+    ]
+  in
+  List.iter
+    (fun gen ->
+      List.iter
+        (fun (name, runner) ->
+          let stats =
+            Exp_util.per_seed ~quick (fun seed ->
+                let inst = Sched_workload.Gen.instance gen ~seed in
+                let s, restarts, wasted = runner inst in
+                Schedule.assert_valid ~allow_restarts:true ~check_deadlines:false s;
+                let lb =
+                  (Sched_baselines.Lower_bounds.volume inst).Sched_baselines.Lower_bounds.value
+                in
+                let f = Metrics.flow s in
+                let values = Metrics.flow_values s in
+                let p99 = (Summary.of_array values).Summary.p99 in
+                let total_volume = Instance.total_min_volume inst in
+                ( f.Metrics.total_with_rejected /. lb,
+                  p99,
+                  (Metrics.rejection s).Metrics.fraction,
+                  float_of_int restarts,
+                  wasted /. total_volume ))
+          in
+          let mean f = Exp_util.mean (List.map f stats) in
+          Table.add_row table
+            [
+              gen.Sched_workload.Gen.name;
+              name;
+              Table.cell_float (mean (fun (a, _, _, _, _) -> a));
+              Table.cell_float (mean (fun (_, a, _, _, _) -> a));
+              Table.cell_float (100. *. mean (fun (_, _, a, _, _) -> a));
+              Table.cell_float (mean (fun (_, _, _, a, _) -> a));
+              Table.cell_float (100. *. mean (fun (_, _, _, _, a) -> a));
+            ])
+        policies)
+    workloads;
+  [ table ]

@@ -1,0 +1,11 @@
+(** E14 (extension, "Table 11"): the restart relaxation vs rejection.
+
+    The paper's conclusion asks which {e other} relaxations admit good
+    non-preemptive schedulers.  Restarts (kill a running job and requeue
+    it, losing its work) never drop jobs, so the comparison is: how much of
+    rejection's benefit do restarts recover, and what fraction of machine
+    work is wasted to get it?  Flow-times for the restart policy cover all
+    jobs; the rejection policy's cover completed jobs (plus
+    release-to-rejection for dropped ones). *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,10 @@
+(** E1 ("Table 1"): Theorem 1 — competitive ratio and rejection budget of
+    the flow-time algorithm.
+
+    Two tables: (a) the six standard workloads x the [eps] grid, ratios
+    against the volume lower bound; (b) tiny instances with the exact
+    brute-force OPT and the LP bound, giving exact empirical competitive
+    ratios.  Claims checked: ratio <= [2((1+eps)/eps)^2], rejected fraction
+    <= [2 eps]. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

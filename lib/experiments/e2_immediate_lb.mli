@@ -1,0 +1,8 @@
+(** E2 ("Figure 1"): Lemma 1 — the paper's adversary forces every
+    immediate-rejection policy to a ratio growing with [sqrt Delta], while
+    the paper's deferred-rejection algorithm stays constant.
+
+    One row per instance scale [L] ([Delta = L^2]); series (columns) are
+    immediate-rejection representatives and the Theorem 1 algorithm. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

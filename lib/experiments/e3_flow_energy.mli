@@ -1,0 +1,5 @@
+(** E3 ("Table 2"): Theorem 2 — weighted flow-time plus energy under speed
+    scaling: ratio against the per-job speed-optimized lower bound, and the
+    rejected-weight budget [eps]. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

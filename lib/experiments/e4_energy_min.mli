@@ -1,0 +1,10 @@
+(** E4 ("Table 3"): Theorem 3 — the configuration-LP greedy for
+    non-preemptive energy minimization with deadlines.
+
+    Ratio against the best available lower bound (YDS preemptive optimum on
+    single-machine instances, per-job convexity bound otherwise), checked
+    against [alpha^alpha]; AVR is reported as the classical preemptive
+    online comparator.  Includes a laxity sweep (tight to loose
+    deadlines). *)
+
+val run : quick:bool -> Sched_stats.Table.t list

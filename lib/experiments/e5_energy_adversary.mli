@@ -1,0 +1,5 @@
+(** E5 ("Figure 2"): Lemma 2 — the adaptive adversary against the greedy,
+    ratio growth in [alpha] between the [(alpha/9)^alpha] lower bound and
+    the [alpha^alpha] upper bound. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,6 @@
+(** E6 ("Table 4"): empirical verification of the dual-fitting analysis
+    (Lemma 4 and the Theorem 1 proof): dual feasibility, the
+    [beta]-integral identity, primal-over-dual against [((1+eps)/eps)^2],
+    and weak duality against the LP value on small instances. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,52 @@
+open Sched_stats
+open Sched_energy
+
+let run ~quick =
+  let trials = if quick then 400 else 4000 in
+  let table =
+    Table.create
+      ~title:"E7: (lambda,mu)-smoothness of power functions (empirical worst-case lambda)"
+      ~columns:
+        [ "power"; "alpha"; "mu"; "lambda-req"; "alpha^(alpha-1)"; "ratio"; "cr=l/(1-mu)" ]
+  in
+  let alphas = if quick then [ 2.; 3. ] else [ 1.5; 2.; 2.5; 3.; 4.; 5. ] in
+  List.iter
+    (fun alpha ->
+      let rng = Rng.create 2024 in
+      let p = Power.polynomial ~alpha in
+      let mu = Rejection.Bounds.smooth_mu ~alpha in
+      let lreq = Smooth.required_lambda ~trials p ~mu rng in
+      let lref = Rejection.Bounds.smooth_lambda ~alpha in
+      Table.add_row table
+        [
+          Power.name p;
+          Table.cell_float alpha;
+          Table.cell_float mu;
+          Table.cell_float lreq;
+          Table.cell_float lref;
+          Table.cell_float (lreq /. lref);
+          Table.cell_float (lreq /. (1. -. mu));
+        ])
+    alphas;
+  (* Beyond convexity: a static-power and a step function, as Theorem 3
+     only needs smoothness, not convexity. *)
+  List.iter
+    (fun (p, alpha_label) ->
+      let rng = Rng.create 99 in
+      let mu = 0.5 in
+      let lreq = Smooth.required_lambda ~trials p ~mu rng in
+      Table.add_row table
+        [
+          Power.name p;
+          alpha_label;
+          Table.cell_float mu;
+          Table.cell_float lreq;
+          "-";
+          "-";
+          Table.cell_float (lreq /. (1. -. mu));
+        ])
+    [
+      (Power.affine_polynomial ~alpha:2. ~static:1., "2+static");
+      (Power.piecewise [ (1., 1.); (2., 4.); (4., 20.); (8., 100.) ], "step");
+    ];
+  [ table ]

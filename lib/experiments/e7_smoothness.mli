@@ -1,0 +1,6 @@
+(** E7 ("Table 5"): numeric verification of the [(lambda, mu)]-smoothness
+    machinery behind Theorem 3 — the empirically required [lambda] at
+    [mu = (alpha-1)/alpha] tracks [Theta(alpha^(alpha-1))], for polynomial
+    and beyond-convex power functions. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,60 @@
+open Sched_stats
+module FR = Rejection.Flow_reject
+
+let eps = 0.25
+
+let run ~quick =
+  let n = Exp_util.scale ~quick 150 and m = 4 in
+  let workloads =
+    if quick then [ Sched_workload.Suite.flow_bimodal ~n ~m ]
+    else
+      [
+        Sched_workload.Suite.flow_uniform ~n ~m;
+        Sched_workload.Suite.flow_pareto ~n ~m;
+        Sched_workload.Suite.flow_bimodal ~n ~m;
+      ]
+  in
+  let table =
+    Table.create ~title:"E8: ablation of Theorem 1 (mean ratio vs volume LB)"
+      ~columns:[ "workload"; "variant"; "ratio"; "max-flow"; "rej%" ]
+  in
+  let cfgs =
+    [
+      ("both rules", Some (FR.config ~eps ()));
+      ("rule1 only", Some (FR.config ~eps ~rule2:false ()));
+      ("rule2 only", Some (FR.config ~eps ~rule1:false ()));
+      ("no rejection", Some (FR.config ~eps ~rule1:false ~rule2:false ()));
+      ("greedy dispatch", Some (FR.config ~eps ~dispatch:FR.Greedy_load ()));
+      ("baseline fifo", None);
+    ]
+  in
+  List.iter
+    (fun gen ->
+      List.iter
+        (fun (label, cfg) ->
+          let ratios = ref [] and rejs = ref [] and maxf = ref [] in
+          List.iter
+            (fun seed ->
+              let inst = Sched_workload.Gen.instance gen ~seed in
+              let schedule =
+                match cfg with
+                | Some cfg -> Exp_util.run_policy (FR.policy cfg) inst
+                | None -> Exp_util.run_policy Sched_baselines.Greedy_dispatch.fifo inst
+              in
+              let lb = (Sched_baselines.Lower_bounds.volume inst).Sched_baselines.Lower_bounds.value in
+              let msr = Exp_util.measure_flow schedule in
+              ratios := (msr.Exp_util.total_flow /. lb) :: !ratios;
+              rejs := msr.Exp_util.rejected_fraction :: !rejs;
+              maxf := msr.Exp_util.max_flow :: !maxf)
+            (Exp_util.seeds ~quick);
+          Table.add_row table
+            [
+              gen.Sched_workload.Gen.name;
+              label;
+              Table.cell_float (Exp_util.mean !ratios);
+              Table.cell_float (Exp_util.mean !maxf);
+              Table.cell_float (100. *. Exp_util.mean !rejs);
+            ])
+        cfgs)
+    workloads;
+  [ table ]

@@ -1,0 +1,5 @@
+(** E8 ("Table 6"): ablation of the Theorem 1 algorithm's design choices —
+    each rejection rule on/off and the dual-fitting dispatch versus a naive
+    greedy-load dispatch — plus the non-rejecting baselines. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

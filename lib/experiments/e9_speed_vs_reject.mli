@@ -1,0 +1,7 @@
+(** E9 ("Table 7"): rejection alone versus speed augmentation plus
+    rejection — the comparison motivating the paper against its
+    predecessor [5] (ESA 2016).  The paper's algorithm uses unit-speed
+    machines; the rendition of [5] runs at [(1+eps_s)] speed.  Both ratios
+    are against the unit-speed volume lower bound. *)
+
+val run : quick:bool -> Sched_stats.Table.t list

@@ -1,0 +1,41 @@
+open Sched_model
+open Sched_sim
+
+let seeds ~quick = if quick then [ 11; 42 ] else Sched_workload.Suite.default_seeds
+
+let per_seed ~quick f = Sched_stats.Parallel.map_list f (seeds ~quick)
+
+let scale ~quick n = if quick then max 20 (n / 3) else n
+
+let mean = function
+  | [] -> invalid_arg "Exp_util.mean: empty"
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let run_policy policy instance =
+  let schedule = Driver.run_schedule policy instance in
+  Schedule.assert_valid ~check_deadlines:false schedule;
+  schedule
+
+type flow_measurement = {
+  completed_flow : float;
+  total_flow : float;
+  rejected_fraction : float;
+  rejected_weight_fraction : float;
+  max_flow : float;
+}
+
+let measure_flow schedule =
+  let f = Metrics.flow schedule in
+  let r = Metrics.rejection schedule in
+  {
+    completed_flow = f.Metrics.total;
+    total_flow = f.Metrics.total_with_rejected;
+    rejected_fraction = r.Metrics.fraction;
+    rejected_weight_fraction = r.Metrics.weight_fraction;
+    max_flow = f.Metrics.max_flow;
+  }
+
+let flow_ratio schedule ~lb =
+  if lb <= 0. then Float.infinity else (measure_flow schedule).total_flow /. lb
+
+let eps_grid = [ 0.1; 0.2; 1. /. 3.; 0.5 ]

@@ -1,0 +1,37 @@
+(** Shared plumbing for the experiment suite. *)
+
+open Sched_model
+open Sched_sim
+
+val seeds : quick:bool -> int list
+(** Five seeds normally, two in quick mode. *)
+
+val per_seed : quick:bool -> (int -> 'a) -> 'a list
+(** [per_seed ~quick f] evaluates [f] on every seed, in parallel over
+    domains ({!Sched_stats.Parallel}); results come back in seed order, so
+    tables are identical to sequential runs. *)
+
+val scale : quick:bool -> int -> int
+(** Shrinks instance sizes in quick mode (divides by 3, min 20). *)
+
+val mean : float list -> float
+
+val run_policy : 'a Driver.policy -> Instance.t -> Schedule.t
+(** Runs and validates (deadlines not enforced — flow instances may carry
+    none). *)
+
+type flow_measurement = {
+  completed_flow : float;
+  total_flow : float;  (** Rejected jobs' (release -> rejection) included. *)
+  rejected_fraction : float;
+  rejected_weight_fraction : float;
+  max_flow : float;
+}
+
+val measure_flow : Schedule.t -> flow_measurement
+
+val flow_ratio : Schedule.t -> lb:float -> float
+(** [total_flow / lb]. *)
+
+val eps_grid : float list
+(** The [eps] values experiments sweep: [0.1; 0.2; 1/3; 0.5]. *)

@@ -1,0 +1,92 @@
+type entry = {
+  id : string;
+  title : string;
+  reproduces : string;
+  run : quick:bool -> Sched_stats.Table.t list;
+}
+
+let all =
+  [
+    {
+      id = "e1";
+      title = "Flow-time competitiveness and rejection budget";
+      reproduces = "Theorem 1";
+      run = E1_flow_competitive.run;
+    };
+    {
+      id = "e2";
+      title = "Immediate-rejection lower bound (adversary)";
+      reproduces = "Lemma 1";
+      run = E2_immediate_lb.run;
+    };
+    {
+      id = "e3";
+      title = "Weighted flow-time plus energy";
+      reproduces = "Theorem 2";
+      run = E3_flow_energy.run;
+    };
+    {
+      id = "e4";
+      title = "Energy minimization with deadlines";
+      reproduces = "Theorem 3";
+      run = E4_energy_min.run;
+    };
+    {
+      id = "e5";
+      title = "Energy lower-bound adversary";
+      reproduces = "Lemma 2";
+      run = E5_energy_adversary.run;
+    };
+    {
+      id = "e6";
+      title = "Dual-fitting certificate";
+      reproduces = "Lemma 4 / Theorem 1 analysis";
+      run = E6_dual_certificate.run;
+    };
+    {
+      id = "e7";
+      title = "Smoothness of power functions";
+      reproduces = "Definition 1 / Theorem 3 analysis";
+      run = E7_smoothness.run;
+    };
+    {
+      id = "e8";
+      title = "Ablation of the Theorem 1 algorithm";
+      reproduces = "Design choices (Section 2)";
+      run = E8_ablation.run;
+    };
+    {
+      id = "e9";
+      title = "Rejection vs speed augmentation";
+      reproduces = "Comparison with [5] (Section 1.1)";
+      run = E9_speed_vs_reject.run;
+    };
+    {
+      id = "e11";
+      title = "Weighted flow-time extension";
+      reproduces = "Extension (open problem noted in Section 1.2)";
+      run = E11_weighted_flow.run;
+    };
+    {
+      id = "e12";
+      title = "Tail flow-time";
+      reproduces = "Extension (motivation of Section 1 / related work [6])";
+      run = E12_tail_latency.run;
+    };
+    {
+      id = "e13";
+      title = "M/G/1 simulator validation";
+      reproduces = "Methodology (Pollaczek-Khinchine cross-check)";
+      run = E13_mg1_validation.run;
+    };
+    {
+      id = "e14";
+      title = "Restart relaxation vs rejection";
+      reproduces = "Extension (conclusion: other relaxations)";
+      run = E14_restarts.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?(quick = false) () = List.map (fun e -> (e, e.run ~quick)) all

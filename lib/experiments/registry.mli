@@ -1,0 +1,17 @@
+(** The experiment registry: the single source of truth mapping experiment
+    ids to runners, shared by the bench harness, the CLI and the tests. *)
+
+type entry = {
+  id : string;  (** "e1" .. "e9". *)
+  title : string;
+  reproduces : string;  (** Which claim of the paper this regenerates. *)
+  run : quick:bool -> Sched_stats.Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val run_all : ?quick:bool -> unit -> (entry * Sched_stats.Table.t list) list
+(** Runs every experiment (quick defaults to false) and returns the
+    tables. *)

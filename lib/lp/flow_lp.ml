@@ -1,0 +1,106 @@
+open Sched_model
+
+type solution = {
+  lp_value : float;
+  opt_lower_bound : float;
+  slots : int;
+  variables : int;
+}
+
+let solve ?grid ?(max_variables = 6000) instance =
+  let n = Instance.n instance and m = Instance.m instance in
+  let jobs = Instance.jobs_by_release instance in
+  let horizon = Instance.horizon instance in
+  let min_p =
+    Array.fold_left
+      (fun acc (j : Job.t) -> Float.min acc (Job.min_size j))
+      Float.infinity jobs
+  in
+  let grid =
+    match grid with
+    | Some g ->
+        if g <= 0. then invalid_arg "Flow_lp.solve: grid must be positive";
+        g
+    | None ->
+        let g = min_p /. 2. in
+        (* Coarsen until the variable budget fits. *)
+        let budget_g = horizon *. float_of_int (n * m) /. float_of_int max_variables in
+        Float.max g budget_g
+  in
+  let slots = int_of_float (Float.ceil (horizon /. grid)) in
+  let nvars_dense = n * m * slots in
+  if nvars_dense > max_variables * 4 then None
+  else begin
+    (* Variable indexing: only (i, j, t) cells with j eligible on i and slot
+       end after the release are materialized. *)
+    let index = Hashtbl.create 1024 in
+    let rev = ref [] in
+    let nvars = ref 0 in
+    Array.iter
+      (fun (j : Job.t) ->
+        for i = 0 to m - 1 do
+          if Job.eligible j i then
+            for t = 0 to slots - 1 do
+              let slot_end = float_of_int (t + 1) *. grid in
+              if slot_end > j.release then begin
+                Hashtbl.add index (i, j.id, t) !nvars;
+                rev := (i, j.id, t) :: !rev;
+                incr nvars
+              end
+            done
+        done)
+      jobs;
+    if !nvars > max_variables then None
+    else begin
+      let nv = !nvars in
+      let c = Array.make nv 0. in
+      List.iter
+        (fun (i, jid, t) ->
+          let j = Instance.job instance jid in
+          let v = Hashtbl.find index (i, jid, t) in
+          let slot_start = float_of_int t *. grid in
+          let frac_flow = Float.max 0. (slot_start -. j.release) /. Job.size j i in
+          (* (fractional flow + processing) contribution of one full slot. *)
+          c.(v) <- (frac_flow +. 1.) *. grid)
+        !rev;
+      let constraints = ref [] in
+      (* Coverage: sum_it x_ijt * grid / p_ij >= 1. *)
+      Array.iter
+        (fun (j : Job.t) ->
+          let row = Array.make nv 0. in
+          for i = 0 to m - 1 do
+            if Job.eligible j i then
+              for t = 0 to slots - 1 do
+                match Hashtbl.find_opt index (i, j.id, t) with
+                | Some v -> row.(v) <- grid /. Job.size j i
+                | None -> ()
+              done
+          done;
+          constraints := (row, Simplex.Ge, 1.) :: !constraints)
+        jobs;
+      (* Capacity: sum_j x_ijt <= 1 per machine-slot (skip empty cells). *)
+      for i = 0 to m - 1 do
+        for t = 0 to slots - 1 do
+          let row = Array.make nv 0. in
+          let nonzero = ref false in
+          Array.iter
+            (fun (j : Job.t) ->
+              match Hashtbl.find_opt index (i, j.id, t) with
+              | Some v ->
+                  row.(v) <- 1.;
+                  nonzero := true
+              | None -> ())
+            jobs;
+          if !nonzero then constraints := (row, Simplex.Le, 1.) :: !constraints
+        done
+      done;
+      match Simplex.solve ~c !constraints with
+      | Simplex.Optimal { objective; _ } ->
+          Some { lp_value = objective; opt_lower_bound = objective /. 2.; slots; variables = nv }
+      | Simplex.Infeasible | Simplex.Unbounded ->
+          (* The LP is always feasible (spread each job over late slots);
+             reaching here indicates a numeric failure — report nothing
+             rather than a bogus bound. *)
+          None
+    end
+  end

@@ -1,0 +1,27 @@
+(** The paper's Section 2 linear program, discretized, as an OPT lower
+    bound for total flow-time.
+
+    Variables [x_ijt]: the fraction of slot [t] (of width [grid]) that
+    machine [i] devotes to job [j].  Constraints: every job is fully
+    processed ([sum_it x_ijt grid / p_ij >= 1]) and no slot is
+    over-committed ([sum_j x_ijt <= 1]).  Objective coefficients use the
+    {e slot start} for the fractional-flow term, which under-estimates the
+    continuous integral, so the LP value stays a valid lower bound of the
+    continuous LP; since the paper shows the continuous LP is at most twice
+    the optimal non-preemptive cost, [lp_value / 2 <= OPT]. *)
+
+open Sched_model
+
+type solution = {
+  lp_value : float;  (** The discretized LP optimum. *)
+  opt_lower_bound : float;  (** [lp_value / 2]: a valid lower bound on the
+                                optimal non-preemptive total flow-time. *)
+  slots : int;
+  variables : int;
+}
+
+val solve : ?grid:float -> ?max_variables:int -> Instance.t -> solution option
+(** [None] when the discretization would exceed [max_variables] (default
+    6000) — callers fall back to combinatorial bounds.  [grid] defaults to
+    half the smallest processing time, capped so the variable budget is
+    respected when possible. *)

@@ -1,0 +1,199 @@
+type op = Le | Ge | Eq
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let tol = 1e-9
+
+(* Tableau layout: [rows] constraint rows, one objective row appended last.
+   Columns: structural variables, then slacks/surpluses, then artificials,
+   then the RHS.  [basis.(r)] is the column basic in row [r]. *)
+type tableau = {
+  t : float array array;
+  basis : int array;
+  rows : int;
+  cols : int;  (** Including RHS. *)
+}
+
+let pivot tb ~row ~col =
+  let t = tb.t in
+  let p = t.(row).(col) in
+  assert (Float.abs p > tol);
+  let inv = 1. /. p in
+  for c = 0 to tb.cols - 1 do
+    t.(row).(c) <- t.(row).(c) *. inv
+  done;
+  for r = 0 to tb.rows do
+    if r <> row then begin
+      let f = t.(r).(col) in
+      if Float.abs f > 0. then
+        for c = 0 to tb.cols - 1 do
+          t.(r).(c) <- t.(r).(c) -. (f *. t.(row).(c))
+        done
+    end
+  done;
+  tb.basis.(row) <- col
+
+(* One simplex phase on the current objective row (last row), minimizing.
+   Bland's rule: entering = lowest-index column with negative reduced cost;
+   leaving = lowest-index basic variable among the min-ratio rows. *)
+let rec iterate tb ~ncols_pivotable =
+  let obj = tb.t.(tb.rows) in
+  let entering = ref (-1) in
+  (try
+     for c = 0 to ncols_pivotable - 1 do
+       if obj.(c) < -.tol then begin
+         entering := c;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let col = !entering in
+    let best = ref None in
+    for r = 0 to tb.rows - 1 do
+      let a = tb.t.(r).(col) in
+      if a > tol then begin
+        let ratio = tb.t.(r).(tb.cols - 1) /. a in
+        match !best with
+        | Some (bratio, brow) ->
+            if ratio < bratio -. tol
+               || (Float.abs (ratio -. bratio) <= tol && tb.basis.(r) < tb.basis.(brow))
+            then best := Some (ratio, r)
+        | None -> best := Some (ratio, r)
+      end
+    done;
+    match !best with
+    | None -> `Unbounded
+    | Some (_, row) ->
+        pivot tb ~row ~col;
+        iterate tb ~ncols_pivotable
+  end
+
+let solve ?(maximize = false) ~c constraints =
+  let nvars = Array.length c in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> nvars then invalid_arg "Simplex.solve: row length mismatch")
+    constraints;
+  (* Normalize to b >= 0. *)
+  let constraints =
+    List.map
+      (fun (row, op, b) ->
+        if b < 0. then
+          ( Array.map (fun x -> -.x) row,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (row, op, b))
+      constraints
+  in
+  let nrows = List.length constraints in
+  let nslack =
+    List.length (List.filter (fun (_, op, _) -> op <> Eq) constraints)
+  in
+  let nart =
+    List.length (List.filter (fun (_, op, _) -> op <> Le) constraints)
+  in
+  let ncols = nvars + nslack + nart + 1 in
+  let t = Array.make_matrix (nrows + 1) ncols 0. in
+  let basis = Array.make nrows (-1) in
+  let tb = { t; basis; rows = nrows; cols = ncols } in
+  let art_cols = ref [] in
+  let slack_idx = ref 0 and art_idx = ref 0 in
+  List.iteri
+    (fun r (row, op, b) ->
+      Array.blit row 0 t.(r) 0 nvars;
+      t.(r).(ncols - 1) <- b;
+      (match op with
+      | Le ->
+          let col = nvars + !slack_idx in
+          incr slack_idx;
+          t.(r).(col) <- 1.;
+          basis.(r) <- col
+      | Ge ->
+          let scol = nvars + !slack_idx in
+          incr slack_idx;
+          t.(r).(scol) <- -1.;
+          let acol = nvars + nslack + !art_idx in
+          incr art_idx;
+          t.(r).(acol) <- 1.;
+          basis.(r) <- acol;
+          art_cols := acol :: !art_cols
+      | Eq ->
+          let acol = nvars + nslack + !art_idx in
+          incr art_idx;
+          t.(r).(acol) <- 1.;
+          basis.(r) <- acol;
+          art_cols := acol :: !art_cols))
+    constraints;
+  (* Phase 1: minimize the sum of artificials. *)
+  let feasible =
+    if nart = 0 then true
+    else begin
+      let obj = t.(nrows) in
+      Array.fill obj 0 ncols 0.;
+      List.iter (fun c -> obj.(c) <- 1.) !art_cols;
+      (* Price out the basic artificials. *)
+      for r = 0 to nrows - 1 do
+        if List.mem basis.(r) !art_cols then
+          for c = 0 to ncols - 1 do
+            obj.(c) <- obj.(c) -. t.(r).(c)
+          done
+      done;
+      (match iterate tb ~ncols_pivotable:(ncols - 1) with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal -> ());
+      let phase1 = -.t.(nrows).(ncols - 1) in
+      if phase1 > 1e-7 then false
+      else begin
+        (* Drive any artificial still basic (at value 0) out of the basis. *)
+        for r = 0 to nrows - 1 do
+          if List.mem basis.(r) !art_cols then begin
+            let found = ref false in
+            for c = 0 to nvars + nslack - 1 do
+              if (not !found) && Float.abs t.(r).(c) > tol then begin
+                found := true;
+                pivot tb ~row:r ~col:c
+              end
+            done
+            (* A row with no pivotable column is all-zero: redundant, leave
+               the zero-valued artificial basic; it never re-enters because
+               phase 2 only pivots on non-artificial columns. *)
+          end
+        done;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Phase 2 objective. *)
+    let obj = t.(nrows) in
+    Array.fill obj 0 ncols 0.;
+    for v = 0 to nvars - 1 do
+      obj.(v) <- (if maximize then -.c.(v) else c.(v))
+    done;
+    (* Price out basic variables. *)
+    for r = 0 to nrows - 1 do
+      let f = obj.(basis.(r)) in
+      if Float.abs f > 0. then
+        for col = 0 to ncols - 1 do
+          obj.(col) <- obj.(col) -. (f *. t.(r).(col))
+        done
+    done;
+    match iterate tb ~ncols_pivotable:(nvars + nslack) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make nvars 0. in
+        for r = 0 to nrows - 1 do
+          if basis.(r) < nvars then solution.(basis.(r)) <- t.(r).(ncols - 1)
+        done;
+        let objective =
+          let v = -.t.(nrows).(ncols - 1) in
+          if maximize then -.v else v
+        in
+        Optimal { objective; solution }
+  end

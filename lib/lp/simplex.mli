@@ -1,0 +1,22 @@
+(** Dense two-phase primal simplex.
+
+    Small, self-contained LP solver used for the paper's time-indexed
+    flow-time relaxation (an OPT lower bound) and as a cross-check in tests.
+    Problems are given in the natural form
+
+    {v min / max  c . x   subject to   a_k . x (<= | >= | =) b_k,  x >= 0 v}
+
+    Bland's anti-cycling rule is used throughout, so the solver always
+    terminates; it is exact up to floating-point tolerance (1e-9 pivots). *)
+
+type op = Le | Ge | Eq
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?maximize:bool -> c:float array -> (float array * op * float) list -> outcome
+(** [solve ~c constraints] minimizes by default.  Every constraint row must
+    have the same length as [c].  Variables are implicitly non-negative. *)

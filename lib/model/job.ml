@@ -1,0 +1,53 @@
+type id = int
+
+type t = {
+  id : id;
+  release : Time.t;
+  weight : float;
+  sizes : float array;
+  deadline : Time.t option;
+}
+
+let validate_sizes sizes =
+  if Array.length sizes = 0 then invalid_arg "Job.create: empty size vector";
+  let finite = ref false in
+  Array.iter
+    (fun p ->
+      if Float.is_nan p || p <= 0. then invalid_arg "Job.create: sizes must be positive";
+      if Float.is_finite p then finite := true)
+    sizes;
+  if not !finite then invalid_arg "Job.create: no eligible machine (all sizes infinite)"
+
+let create ~id ~release ?(weight = 1.) ?deadline ~sizes () =
+  if not (Time.nonneg release) then invalid_arg "Job.create: negative release";
+  if weight <= 0. || not (Float.is_finite weight) then
+    invalid_arg "Job.create: weight must be positive and finite";
+  validate_sizes sizes;
+  (match deadline with
+  | Some d when not (Time.gt d release) -> invalid_arg "Job.create: deadline <= release"
+  | _ -> ());
+  { id; release; weight; sizes = Array.copy sizes; deadline }
+
+let size j i = j.sizes.(i)
+let eligible j i = Float.is_finite j.sizes.(i)
+
+let min_size j = Array.fold_left Float.min Float.infinity j.sizes
+
+let best_machine j =
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p < j.sizes.(!best) then best := i) j.sizes;
+  !best
+
+let span j = Option.map (fun d -> d -. j.release) j.deadline
+
+let with_sizes j sizes =
+  validate_sizes sizes;
+  { j with sizes = Array.copy sizes }
+
+let compare_by_release a b =
+  match Float.compare a.release b.release with 0 -> Int.compare a.id b.id | c -> c
+
+let pp ppf j =
+  Format.fprintf ppf "job#%d[r=%a w=%g p=[%s]%s]" j.id Time.pp j.release j.weight
+    (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%g") j.sizes)))
+    (match j.deadline with None -> "" | Some d -> Printf.sprintf " d=%g" d)

@@ -1,0 +1,47 @@
+(** Jobs.
+
+    A job carries a release time, a weight, an optional deadline (only used
+    by the energy-minimization problem of the paper's Section 4) and a vector
+    of machine-dependent sizes [p_ij] — processing *time* in the flow-time
+    problem, processing *volume* in the speed-scaling problems.  A size of
+    [infinity] encodes a forbidden machine (restricted assignment). *)
+
+type id = int
+
+type t = private {
+  id : id;
+  release : Time.t;
+  weight : float;
+  sizes : float array;  (** [sizes.(i)] is [p_ij] on machine [i]. *)
+  deadline : Time.t option;
+}
+
+val create :
+  id:id -> release:Time.t -> ?weight:float -> ?deadline:Time.t -> sizes:float array -> unit -> t
+(** Builds a job, validating: non-negative release, positive weight, every
+    size positive (possibly [infinity]) with at least one finite entry, and
+    when a deadline is given, [deadline > release].  [weight] defaults to
+    [1.]. *)
+
+val size : t -> int -> float
+(** [size j i] is [p_ij]. *)
+
+val eligible : t -> int -> bool
+(** [eligible j i] holds when [size j i] is finite. *)
+
+val min_size : t -> float
+(** Minimum size over machines (finite by construction). *)
+
+val best_machine : t -> int
+(** Index of a machine achieving [min_size]. *)
+
+val span : t -> Time.t option
+(** [deadline - release] when a deadline is present. *)
+
+val with_sizes : t -> float array -> t
+(** Copy with replaced (re-validated) size vector. *)
+
+val compare_by_release : t -> t -> int
+(** Orders by release time, tie-broken by id. *)
+
+val pp : Format.formatter -> t -> unit

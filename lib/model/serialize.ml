@@ -1,0 +1,167 @@
+let float_to_string v =
+  if v = Float.infinity then "inf"
+  else begin
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+  end
+
+let float_of_token tok =
+  match tok with
+  | "inf" -> Ok Float.infinity
+  | _ -> (
+      match float_of_string_opt tok with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "bad number %S" tok))
+
+let instance_to_string (instance : Instance.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "rejsched-instance v1\n";
+  Buffer.add_string buf ("name " ^ instance.Instance.name ^ "\n");
+  let m = Instance.m instance in
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" m);
+  for i = 0 to m - 1 do
+    let mc = Instance.machine instance i in
+    Buffer.add_string buf
+      (Printf.sprintf "machine %d %s %s\n" mc.Machine.id
+         (float_to_string mc.Machine.speed)
+         (float_to_string mc.Machine.alpha))
+  done;
+  let jobs = Instance.jobs_by_release instance in
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" (Array.length jobs));
+  Array.iter
+    (fun (j : Job.t) ->
+      let deadline = match j.Job.deadline with None -> "-" | Some d -> float_to_string d in
+      let sizes =
+        String.concat " " (Array.to_list (Array.map float_to_string j.Job.sizes))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "job %d %s %s %s %s\n" j.Job.id
+           (float_to_string j.Job.release)
+           (float_to_string j.Job.weight)
+           deadline sizes))
+    jobs;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable name : string;
+  mutable machines : Machine.t list;
+  mutable expected_machines : int;
+  mutable jobs : Job.t list;
+  mutable expected_jobs : int;
+}
+
+let instance_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let st =
+    { name = "instance"; machines = []; expected_machines = -1; jobs = []; expected_jobs = -1 }
+  in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let ( let* ) = Result.bind in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else begin
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "rejsched-instance"; "v1" ] -> Ok ()
+      | "name" :: rest ->
+          st.name <- String.concat " " rest;
+          Ok ()
+      | [ "machines"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 ->
+              st.expected_machines <- n;
+              Ok ()
+          | _ -> error lineno "bad machine count")
+      | "machine" :: id :: speed :: alpha :: [] -> (
+          match (int_of_string_opt id, float_of_token speed, float_of_token alpha) with
+          | Some id, Ok speed, Ok alpha -> (
+              try
+                st.machines <- Machine.create ~id ~speed ~alpha () :: st.machines;
+                Ok ()
+              with Invalid_argument msg -> error lineno msg)
+          | _ -> error lineno "bad machine line")
+      | [ "jobs"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+              st.expected_jobs <- n;
+              Ok ()
+          | _ -> error lineno "bad job count")
+      | "job" :: id :: release :: weight :: deadline :: sizes -> (
+          let* id =
+            match int_of_string_opt id with Some i -> Ok i | None -> error lineno "bad job id"
+          in
+          let* release = Result.map_error (Printf.sprintf "line %d: %s" lineno) (float_of_token release) in
+          let* weight = Result.map_error (Printf.sprintf "line %d: %s" lineno) (float_of_token weight) in
+          let* deadline =
+            if deadline = "-" then Ok None
+            else
+              Result.map
+                (fun d -> Some d)
+                (Result.map_error (Printf.sprintf "line %d: %s" lineno) (float_of_token deadline))
+          in
+          let* sizes =
+            List.fold_left
+              (fun acc tok ->
+                let* acc = acc in
+                let* v = Result.map_error (Printf.sprintf "line %d: %s" lineno) (float_of_token tok) in
+                Ok (v :: acc))
+              (Ok []) sizes
+            |> Result.map (fun l -> Array.of_list (List.rev l))
+          in
+          try
+            st.jobs <- Job.create ~id ~release ~weight ?deadline ~sizes () :: st.jobs;
+            Ok ()
+          with Invalid_argument msg -> error lineno msg)
+      | token :: _ -> error lineno (Printf.sprintf "unknown directive %S" token)
+      | [] -> Ok ()
+    end
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+        let* () = parse_line lineno line in
+        go (lineno + 1) rest
+  in
+  let* () = go 1 lines in
+  let machines = Array.of_list (List.rev st.machines) in
+  if st.expected_machines >= 0 && Array.length machines <> st.expected_machines then
+    Error
+      (Printf.sprintf "declared %d machines but found %d" st.expected_machines
+         (Array.length machines))
+  else if st.expected_jobs >= 0 && List.length st.jobs <> st.expected_jobs then
+    Error (Printf.sprintf "declared %d jobs but found %d" st.expected_jobs (List.length st.jobs))
+  else begin
+    try Ok (Instance.create ~name:st.name ~machines ~jobs:(List.rev st.jobs) ())
+    with Invalid_argument msg -> Error msg
+  end
+
+let save_instance ~path instance =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (instance_to_string instance))
+
+let load_instance ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> instance_of_string text
+  | exception Sys_error msg -> Error msg
+
+let segments_to_csv (s : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "job,machine,start,stop,speed,outcome\n";
+  List.iter
+    (fun (g : Schedule.segment) ->
+      let outcome =
+        match Schedule.outcome s g.Schedule.job with
+        | Outcome.Completed _ -> "completed"
+        | Outcome.Rejected _ -> "rejected"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%s,%s,%s\n" g.Schedule.job g.Schedule.machine
+           (float_to_string g.Schedule.start)
+           (float_to_string g.Schedule.stop)
+           (float_to_string g.Schedule.speed)
+           outcome))
+    s.Schedule.segments;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Plain-text (de)serialization of instances and schedule exports.
+
+    The instance format is a line-oriented, human-diffable text format:
+
+    {v
+    rejsched-instance v1
+    name <string, may contain spaces>
+    machines <m>
+    machine <id> <speed> <alpha>        (m lines)
+    jobs <n>
+    job <id> <release> <weight> <deadline or -> <p_0> ... <p_{m-1}>
+    v}
+
+    with [inf] denoting an ineligible machine.  Round-trips exactly (floats
+    are printed with full precision). *)
+
+val instance_to_string : Instance.t -> string
+
+val instance_of_string : string -> (Instance.t, string) result
+(** Parse errors are returned as a human-readable message with a line
+    number. *)
+
+val save_instance : path:string -> Instance.t -> unit
+val load_instance : path:string -> (Instance.t, string) result
+
+val segments_to_csv : Schedule.t -> string
+(** One row per execution segment ([job,machine,start,stop,speed,outcome]),
+    suitable for external plotting. *)

@@ -1,0 +1,86 @@
+(* A small qualitative palette (Okabe-Ito plus a few extras), cycled by
+   job id. *)
+let palette =
+  [| "#0072B2"; "#E69F00"; "#009E73"; "#CC79A7"; "#56B4E9"; "#D55E00"; "#F0E442";
+     "#999999"; "#7570B3"; "#66A61E"; "#A6761D"; "#1B9E77" |]
+
+let color_of id = palette.(id mod Array.length palette)
+
+let render ?(width = 900) ?(lane_height = 34) (s : Schedule.t) =
+  if width < 100 then invalid_arg "Svg.render: width too small";
+  let horizon = Float.max 1e-9 (Metrics.makespan s) in
+  let m = Instance.m s.Schedule.instance in
+  let margin_left = 46 and margin_top = 10 and axis_height = 26 in
+  let chart_width = width - margin_left - 10 in
+  let height = margin_top + (m * lane_height) + axis_height in
+  let x_of t = float_of_int margin_left +. (t /. horizon *. float_of_int chart_width) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" font-family=\"sans-serif\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  (* Lanes. *)
+  for i = 0 to m - 1 do
+    let y = margin_top + (i * lane_height) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"/>\n"
+         margin_left y chart_width (lane_height - 4)
+         (if i mod 2 = 0 then "#f4f4f4" else "#ececec"));
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"6\" y=\"%d\">m%d</text>\n" (y + (lane_height / 2) + 4) i)
+  done;
+  (* Segments. *)
+  List.iter
+    (fun (g : Schedule.segment) ->
+      let y = margin_top + (g.Schedule.machine * lane_height) in
+      let x0 = x_of g.Schedule.start and x1 = x_of g.Schedule.stop in
+      let rejected =
+        match Schedule.outcome s g.Schedule.job with
+        | Outcome.Rejected _ -> true
+        | Outcome.Completed _ -> false
+      in
+      let fill = if rejected then "#D55E00" else color_of g.Schedule.job in
+      let opacity = if rejected then "0.55" else "0.9" in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" rx=\"3\" fill=\"%s\" \
+            fill-opacity=\"%s\" stroke=\"#333\" stroke-width=\"0.5\"><title>job %d: [%.3g, \
+            %.3g) speed %.3g%s</title></rect>\n"
+           x0 (y + 2)
+           (Float.max 1.5 (x1 -. x0))
+           (lane_height - 8) fill opacity g.Schedule.job g.Schedule.start g.Schedule.stop
+           g.Schedule.speed
+           (if rejected then " (rejected)" else ""));
+      if x1 -. x0 > 18. then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%.2f\" y=\"%d\" fill=\"white\" font-size=\"10\">j%d</text>\n"
+             (x0 +. 3.)
+             (y + (lane_height / 2) + 2)
+             g.Schedule.job))
+    s.Schedule.segments;
+  (* Axis with 6 ticks. *)
+  let axis_y = margin_top + (m * lane_height) + 4 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#333\"/>\n" margin_left axis_y
+       (margin_left + chart_width) axis_y);
+  for k = 0 to 6 do
+    let t = horizon *. float_of_int k /. 6. in
+    let x = x_of t in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#333\"/>\n" x axis_y x
+         (axis_y + 4));
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%.4g</text>\n" x
+         (axis_y + 16) t)
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ~path ?width ?lane_height s =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render ?width ?lane_height s))

@@ -1,0 +1,218 @@
+open Sched_model
+
+type running = { job : Job.t; started : Time.t; rate : float; finish : Time.t }
+
+type machine_state = {
+  mutable m_running : running option;
+  mutable m_epoch : int;  (** Invalidates stale finish events after a mid-run
+                              rejection. *)
+  mutable m_pending : Job.t list;
+}
+
+type location = Unreleased | Pending of Machine.id | Running of Machine.id | Settled
+
+type state = {
+  instance : Instance.t;
+  machines : machine_state array;
+  loc : location array;  (** Indexed by job id. *)
+  mutable clock : Time.t;
+  builder : Schedule.builder;
+  trace : Trace.t option;
+}
+
+type view = state
+
+let now (v : view) = v.clock
+let running_on (v : view) i = v.machines.(i).m_running
+
+let remaining_volume (v : view) i =
+  match v.machines.(i).m_running with
+  | None -> 0.
+  | Some r -> Float.max 0. ((r.finish -. v.clock) *. r.rate)
+
+let remaining_time (v : view) i =
+  match v.machines.(i).m_running with None -> 0. | Some r -> Float.max 0. (r.finish -. v.clock)
+
+let pending (v : view) i = v.machines.(i).m_pending
+let pending_count (v : view) i = List.length v.machines.(i).m_pending
+
+type decision = { dispatch_to : Machine.id; reject : Job.id list; restart : Job.id list }
+
+let dispatch i = { dispatch_to = i; reject = []; restart = [] }
+
+type start = { job : Job.id; speed : float }
+
+type 'a policy = {
+  name : string;
+  init : Instance.t -> 'a;
+  on_arrival : 'a -> view -> Job.t -> decision;
+  select : 'a -> view -> Machine.id -> start option;
+}
+
+type event = Arrival of Job.t | Finish of Machine.id * int
+
+(* Event ordering at equal times: completions before arrivals, so that a
+   policy dispatching at time t sees machines that just finished as idle;
+   within a kind, insertion sequence (deterministic). *)
+let tag_finish seq = seq
+let tag_arrival seq = (1 lsl 40) + seq
+
+let record st ev = match st.trace with None -> () | Some tr -> Trace.record tr st.clock ev
+
+let remove_pending ms id =
+  let found = ref false in
+  let rest = List.filter (fun (j : Job.t) -> if j.id = id then (found := true; false) else true) ms.m_pending in
+  if not !found then invalid_arg (Printf.sprintf "Driver: job %d not pending" id);
+  ms.m_pending <- rest
+
+let reject_job st id =
+  let t = st.clock in
+  match st.loc.(id) with
+  | Pending i ->
+      let ms = st.machines.(i) in
+      remove_pending ms id;
+      st.loc.(id) <- Settled;
+      let j = Instance.job st.instance id in
+      record st (Trace.Reject { job = id; machine = i; was_running = false; remaining = Job.size j i });
+      Schedule.set_outcome st.builder id
+        (Outcome.Rejected { time = t; assigned_to = Some i; was_running = false });
+      i
+  | Running i ->
+      let ms = st.machines.(i) in
+      let r = match ms.m_running with Some r -> r | None -> assert false in
+      assert (r.job.Job.id = id);
+      ms.m_running <- None;
+      ms.m_epoch <- ms.m_epoch + 1;
+      st.loc.(id) <- Settled;
+      let was_running = Time.gt t r.started in
+      if was_running then
+        Schedule.add_segment st.builder
+          { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
+      let remaining = Float.max 0. ((r.finish -. t) *. r.rate) in
+      record st (Trace.Reject { job = id; machine = i; was_running; remaining });
+      Schedule.set_outcome st.builder id
+        (Outcome.Rejected { time = t; assigned_to = Some i; was_running });
+      i
+  | Unreleased -> invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id)
+  | Settled -> invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id)
+
+(* Kill a running job and return it (full size again) to the pending
+   queue; its partial segment is kept for the wasted-work record. *)
+let restart_job st id =
+  let t = st.clock in
+  match st.loc.(id) with
+  | Running i ->
+      let ms = st.machines.(i) in
+      let r = match ms.m_running with Some r -> r | None -> assert false in
+      assert (r.job.Job.id = id);
+      ms.m_running <- None;
+      ms.m_epoch <- ms.m_epoch + 1;
+      if Time.gt t r.started then
+        Schedule.add_segment st.builder
+          { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
+      let wasted = Float.max 0. ((t -. r.started) *. r.rate) in
+      record st (Trace.Restart { job = id; machine = i; wasted });
+      ms.m_pending <- r.job :: ms.m_pending;
+      st.loc.(id) <- Pending i;
+      i
+  | Pending _ | Unreleased | Settled ->
+      invalid_arg (Printf.sprintf "Driver: restarting job %d that is not running" id)
+
+let try_start st queue seq policy pstate i =
+  let ms = st.machines.(i) in
+  match ms.m_running with
+  | Some _ -> ()
+  | None ->
+      if ms.m_pending <> [] then begin
+        match policy.select pstate st i with
+        | None -> ()
+        | Some { job; speed } ->
+            if speed <= 0. || not (Float.is_finite speed) then
+              invalid_arg (Printf.sprintf "Driver: policy %s chose speed %g" policy.name speed);
+            let j = Instance.job st.instance job in
+            (match st.loc.(job) with
+            | Pending i' when i' = i -> ()
+            | _ -> invalid_arg (Printf.sprintf "Driver: job %d is not pending on machine %d" job i));
+            remove_pending ms job;
+            let machine = Instance.machine st.instance i in
+            let rate = speed *. machine.Machine.speed in
+            let size = Job.size j i in
+            if not (Float.is_finite size) then
+              invalid_arg (Printf.sprintf "Driver: starting job %d on ineligible machine %d" job i);
+            let finish = st.clock +. (size /. rate) in
+            ms.m_running <- Some { job = j; started = st.clock; rate; finish };
+            st.loc.(job) <- Running i;
+            record st (Trace.Start { job; machine = i; speed = rate });
+            incr seq;
+            Pqueue.push queue ~key:finish ~tag:(tag_finish !seq) (Finish (i, ms.m_epoch))
+      end
+
+let run ?trace policy instance =
+  let m = Instance.m instance in
+  let st =
+    {
+      instance;
+      machines = Array.init m (fun _ -> { m_running = None; m_epoch = 0; m_pending = [] });
+      loc = Array.make (Instance.n instance) Unreleased;
+      clock = 0.;
+      builder = Schedule.builder instance;
+      trace;
+    }
+  in
+  let pstate = policy.init instance in
+  let queue = Pqueue.create () in
+  let seq = ref 0 in
+  Array.iter
+    (fun (j : Job.t) ->
+      incr seq;
+      Pqueue.push queue ~key:j.release ~tag:(tag_arrival !seq) (Arrival j))
+    (Instance.jobs_by_release instance);
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (time, _, ev) ->
+        st.clock <- Float.max st.clock time;
+        (match ev with
+        | Finish (i, epoch) ->
+            let ms = st.machines.(i) in
+            (match ms.m_running with
+            | Some r when ms.m_epoch = epoch ->
+                let id = r.job.Job.id in
+                ms.m_running <- None;
+                Schedule.add_segment st.builder
+                  { Schedule.job = id; machine = i; start = r.started; stop = r.finish; speed = r.rate };
+                Schedule.set_outcome st.builder id
+                  (Outcome.Completed { machine = i; start = r.started; speed = r.rate; finish = r.finish });
+                st.loc.(id) <- Settled;
+                record st (Trace.Complete { job = id; machine = i });
+                try_start st queue seq policy pstate i
+            | _ -> () (* Stale event: the job was rejected mid-run. *))
+        | Arrival j ->
+            let decision = policy.on_arrival pstate st j in
+            let i = decision.dispatch_to in
+            if i < 0 || i >= m then
+              invalid_arg (Printf.sprintf "Driver: policy %s dispatched to machine %d" policy.name i);
+            if not (Job.eligible j i) then
+              invalid_arg
+                (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
+                   policy.name j.id i);
+            st.machines.(i).m_pending <- j :: st.machines.(i).m_pending;
+            st.loc.(j.id) <- Pending i;
+            record st (Trace.Dispatch { job = j.id; machine = i });
+            let touched = List.map (reject_job st) decision.reject in
+            let touched = touched @ List.map (restart_job st) decision.restart in
+            List.iter (try_start st queue seq policy pstate) (List.sort_uniq compare (i :: touched)));
+        loop ()
+  in
+  loop ();
+  (* A machine can only be idle with pending jobs if the policy returned
+     [None] from [select]; then those jobs never finish.  Surface it. *)
+  Array.iteri
+    (fun i ms ->
+      if ms.m_pending <> [] || ms.m_running <> None then
+        invalid_arg
+          (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i))
+    st.machines;
+  (Schedule.finalize st.builder, pstate)
+
+let run_schedule ?trace policy instance = fst (run ?trace policy instance)

@@ -1,0 +1,87 @@
+(** Event-driven online scheduling driver.
+
+    The driver owns the ground truth of a run — clock, per-machine pending
+    queues, the running job, laid-down segments — and consults a {!policy}
+    for the three online decisions of the paper's model:
+
+    - where to dispatch a job the instant it is released ({!field-on_arrival},
+      which may also reject already-dispatched jobs, possibly mid-execution:
+      the paper's Rejection Rules);
+    - which pending job to start, and at which speed, when a machine goes
+      idle ({!field-select}).
+
+    Jobs are revealed to the policy only at their release times; the policy
+    can inspect the driver state through a read-only {!view}.  Every run
+    yields a {!Sched_model.Schedule.t} that the schedule validator accepts,
+    so all policies are measured on equal terms. *)
+
+open Sched_model
+
+(** {1 Read-only view of the driver state} *)
+
+type view
+
+val now : view -> Time.t
+
+type running = { job : Job.t; started : Time.t; rate : float; finish : Time.t }
+(** [rate] is volume processed per unit time (execution speed times the
+    machine's nominal speed factor). *)
+
+val running_on : view -> Machine.id -> running option
+
+val remaining_volume : view -> Machine.id -> float
+(** Remaining volume of the running job at the current instant; [0.] when
+    idle. *)
+
+val remaining_time : view -> Machine.id -> float
+(** Time until the running job would finish; [0.] when idle. *)
+
+val pending : view -> Machine.id -> Job.t list
+(** Jobs dispatched to the machine, released, not started (unordered). *)
+
+val pending_count : view -> Machine.id -> int
+
+(** {1 Policy interface} *)
+
+type decision = {
+  dispatch_to : Machine.id;
+  reject : Job.id list;
+      (** Jobs to reject right now; each must currently be dispatched
+          (pending or running) — the newly arrived job, just dispatched, may
+          be among them.  Order is respected. *)
+  restart : Job.id list;
+      (** Running jobs to kill and return to their machine's pending queue;
+          completed work is lost (the restart relaxation the paper's
+          conclusion proposes exploring).  Processed after [reject]. *)
+}
+
+val dispatch : Machine.id -> decision
+(** Plain dispatch with no rejection or restart. *)
+
+type start = { job : Job.id; speed : float }
+(** [speed] multiplies the machine's nominal speed; the flow-time policies
+    use [1.0], the speed-scaling policy of the paper's Section 3 chooses
+    it per start. *)
+
+type 'a policy = {
+  name : string;
+  init : Instance.t -> 'a;
+  on_arrival : 'a -> view -> Job.t -> decision;
+  select : 'a -> view -> Machine.id -> start option;
+      (** Called whenever [machine] is idle and may start work (after an
+          arrival, completion or rejection).  [None] leaves it idle until
+          the next event.  The chosen job must be pending on that machine
+          and the speed positive. *)
+}
+
+(** {1 Running} *)
+
+val run : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t * 'a
+(** Simulates the policy on the instance.  Raises [Invalid_argument] on an
+    ill-formed policy decision (dispatch to an ineligible machine, rejecting
+    an unknown job, starting a non-pending job, non-positive speed).  The
+    returned ['a] is the policy's final state, which instrumented policies
+    use to expose analysis data (e.g. the dual variables of Lemma 4). *)
+
+val run_schedule : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t
+(** [run] dropping the policy state. *)

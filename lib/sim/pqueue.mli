@@ -1,0 +1,21 @@
+(** Binary-heap priority queue keyed by [(float, int)].
+
+    The integer tag breaks ties deterministically (insertion sequence or an
+    event-kind rank), which the simulation relies on for reproducible event
+    ordering at equal times. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> key:float -> tag:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum element ([(key, tag, payload)]),
+    comparing keys first and tags second. *)
+
+val peek : 'a t -> (float * int * 'a) option
+
+val clear : 'a t -> unit

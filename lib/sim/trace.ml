@@ -1,0 +1,51 @@
+open Sched_model
+
+type event =
+  | Dispatch of { job : Job.id; machine : Machine.id }
+  | Start of { job : Job.id; machine : Machine.id; speed : float }
+  | Complete of { job : Job.id; machine : Machine.id }
+  | Reject of { job : Job.id; machine : Machine.id; was_running : bool; remaining : float }
+  | Restart of { job : Job.id; machine : Machine.id; wasted : float }
+
+type entry = { time : Time.t; event : event }
+
+type t = { mutable rev : entry list; mutable len : int }
+
+let create () = { rev = []; len = 0 }
+
+let record t time event =
+  t.rev <- { time; event } :: t.rev;
+  t.len <- t.len + 1
+
+let events t = List.rev t.rev
+let length t = t.len
+
+let queue_profile t ~machines =
+  let profiles = Array.make machines [] in
+  let counts = Array.make machines 0 in
+  List.iter
+    (fun { time; event } ->
+      let bump i delta =
+        counts.(i) <- counts.(i) + delta;
+        profiles.(i) <- (time, counts.(i)) :: profiles.(i)
+      in
+      match event with
+      | Dispatch { machine; _ } -> bump machine 1
+      | Complete { machine; _ } -> bump machine (-1)
+      | Reject { machine; _ } -> bump machine (-1)
+      | Start _ | Restart _ -> ())
+    (events t);
+  List.init machines (fun i -> (i, List.rev profiles.(i)))
+
+let pp_entry ppf { time; event } =
+  match event with
+  | Dispatch { job; machine } -> Format.fprintf ppf "%a dispatch j%d -> m%d" Time.pp time job machine
+  | Start { job; machine; speed } ->
+      Format.fprintf ppf "%a start j%d on m%d speed=%g" Time.pp time job machine speed
+  | Complete { job; machine } -> Format.fprintf ppf "%a complete j%d on m%d" Time.pp time job machine
+  | Reject { job; machine; was_running; remaining } ->
+      Format.fprintf ppf "%a reject j%d on m%d%s rem=%g" Time.pp time job machine
+        (if was_running then " (running)" else "")
+        remaining
+  | Restart { job; machine; wasted } ->
+      Format.fprintf ppf "%a restart j%d on m%d wasted=%g" Time.pp time job machine wasted

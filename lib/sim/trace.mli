@@ -1,0 +1,44 @@
+(** Event log of a simulation run.
+
+    The trace is the raw material for offline analyses that must not reach
+    into policy internals: the dual-fitting certificate (Lemma 4 of the
+    paper) reconstructs [|U_i(t)|] and the definitive-finish bookkeeping
+    entirely from these events. *)
+
+open Sched_model
+
+type event =
+  | Dispatch of { job : Job.id; machine : Machine.id }
+      (** The policy routed the newly released job to a machine. *)
+  | Start of { job : Job.id; machine : Machine.id; speed : float }
+  | Complete of { job : Job.id; machine : Machine.id }
+  | Reject of {
+      job : Job.id;
+      machine : Machine.id;
+      was_running : bool;
+      remaining : float;  (** Remaining volume at the rejection instant
+                              (equals the full size when never started). *)
+    }
+  | Restart of {
+      job : Job.id;
+      machine : Machine.id;
+      wasted : float;  (** Volume processed and discarded by the kill. *)
+    }
+
+type entry = { time : Time.t; event : event }
+
+type t
+
+val create : unit -> t
+val record : t -> Time.t -> event -> unit
+val events : t -> entry list
+(** In chronological (recording) order. *)
+
+val length : t -> int
+
+val queue_profile : t -> machines:int -> (Machine.id * (Time.t * int) list) list
+(** Per machine, the step function of [|U_i(t)|] (dispatched, not yet
+    completed or rejected): a list of [(time, new value)] changes, starting
+    implicitly from 0. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,181 @@
+type series = { label : string; points : (float * float) list }
+
+let palette =
+  [| "#0072B2"; "#E69F00"; "#009E73"; "#CC79A7"; "#56B4E9"; "#D55E00"; "#7570B3"; "#999999" |]
+
+(* "Nice" ticks: 5-ish round values spanning [lo, hi]. *)
+let linear_ticks lo hi =
+  if hi <= lo then [ lo ]
+  else begin
+    let span = hi -. lo in
+    let raw = span /. 5. in
+    let mag = 10. ** Float.round (Float.log10 raw) in
+    let step =
+      List.find (fun s -> span /. s <= 8.) [ mag /. 2.; mag; 2. *. mag; 5. *. mag; 10. *. mag ]
+    in
+    let first = Float.ceil (lo /. step) *. step in
+    let rec go acc t = if t > hi +. (step /. 2.) then List.rev acc else go (t :: acc) (t +. step) in
+    go [] first
+  end
+
+let log_ticks lo hi =
+  let k0 = int_of_float (Float.floor (Float.log10 lo)) in
+  let k1 = int_of_float (Float.ceil (Float.log10 hi)) in
+  List.init (max 1 (k1 - k0 + 1)) (fun i -> 10. ** float_of_int (k0 + i))
+
+let fmt_tick v =
+  if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && v <> 0.) then Printf.sprintf "%.0e" v
+  else Printf.sprintf "%g" v
+
+let render ?(width = 640) ?(height = 400) ?(log_y = false) ~title ~x_label ~y_label series =
+  if width < 160 || height < 120 then invalid_arg "Chart.render: too small";
+  let series =
+    if log_y then
+      List.map (fun s -> { s with points = List.filter (fun (_, y) -> y > 0.) s.points }) series
+    else series
+  in
+  let all = List.concat_map (fun s -> s.points) series in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"sans-serif\" font-size=\"12\">\n\
+        <rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"
+       width height);
+  if all = [] then
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">(no data)</text>\n"
+         (width / 2) (height / 2))
+  else begin
+    let ml = 64 and mr = 20 and mt = 34 and mb = 46 in
+    let pw = float_of_int (width - ml - mr) and ph = float_of_int (height - mt - mb) in
+    let xs = List.map fst all and ys = List.map snd all in
+    let xmin = List.fold_left Float.min Float.infinity xs in
+    let xmax = List.fold_left Float.max Float.neg_infinity xs in
+    let ymin = List.fold_left Float.min Float.infinity ys in
+    let ymax = List.fold_left Float.max Float.neg_infinity ys in
+    let xmax = if xmax <= xmin then xmin +. 1. else xmax in
+    let ymin, ymax =
+      if log_y then (ymin, if ymax <= ymin then ymin *. 10. else ymax)
+      else begin
+        let pad = 0.05 *. Float.max 1e-9 (ymax -. ymin) in
+        (ymin -. pad, if ymax <= ymin then ymin +. 1. else ymax +. pad)
+      end
+    in
+    let xpos x = float_of_int ml +. ((x -. xmin) /. (xmax -. xmin) *. pw) in
+    let ypos y =
+      let frac =
+        if log_y then (Float.log10 y -. Float.log10 ymin) /. (Float.log10 ymax -. Float.log10 ymin)
+        else (y -. ymin) /. (ymax -. ymin)
+      in
+      float_of_int mt +. ((1. -. frac) *. ph)
+    in
+    (* Frame, title, labels. *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" stroke=\"#333\"/>\n"
+         ml mt pw ph);
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"20\" font-size=\"14\" font-weight=\"bold\">%s</text>\n"
+         ml title);
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+         (ml + ((width - ml - mr) / 2))
+         (height - 10) x_label);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"14\" y=\"%d\" text-anchor=\"middle\" transform=\"rotate(-90 14 %d)\">%s</text>\n"
+         (mt + ((height - mt - mb) / 2))
+         (mt + ((height - mt - mb) / 2))
+         y_label);
+    (* Ticks. *)
+    List.iter
+      (fun v ->
+        let x = xpos v in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#333\"/>\n\
+              <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s</text>\n"
+             x
+             (float_of_int mt +. ph)
+             x
+             (float_of_int mt +. ph +. 5.)
+             x
+             (float_of_int mt +. ph +. 18.)
+             (fmt_tick v)))
+      (linear_ticks xmin xmax);
+    List.iter
+      (fun v ->
+        if v >= ymin && v <= ymax then begin
+          let y = ypos v in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n\
+                <text x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n"
+               ml y
+               (float_of_int ml +. pw)
+               y (ml - 6) (y +. 4.) (fmt_tick v))
+        end)
+      (if log_y then log_ticks ymin ymax else linear_ticks ymin ymax);
+    (* Series. *)
+    List.iteri
+      (fun k s ->
+        let color = palette.(k mod Array.length palette) in
+        let sorted = List.sort compare s.points in
+        let path =
+          String.concat " "
+            (List.mapi
+               (fun i (x, y) ->
+                 Printf.sprintf "%s%.1f,%.1f" (if i = 0 then "M" else "L") (xpos x) (ypos y))
+               sorted)
+        in
+        if List.length sorted > 1 then
+          Buffer.add_string buf
+            (Printf.sprintf "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+               path color);
+        List.iter
+          (fun (x, y) ->
+            Buffer.add_string buf
+              (Printf.sprintf "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n" (xpos x)
+                 (ypos y) color))
+          sorted;
+        (* Legend. *)
+        let ly = mt + 8 + (k * 16) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%.1f\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n\
+              <text x=\"%.1f\" y=\"%d\">%s</text>\n"
+             (float_of_int ml +. pw -. 150.)
+             ly color
+             (float_of_int ml +. pw -. 135.)
+             (ly + 9) s.label))
+      series
+  end;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let of_table ~x table =
+  let headers = Table.columns table in
+  let rows = Table.rows table in
+  match List.find_index (fun h -> h = x) headers with
+  | None -> []
+  | Some xi ->
+      let parse cell = float_of_string_opt (String.trim cell) in
+      let xcol = List.map (fun row -> parse (List.nth row xi)) rows in
+      if List.exists Option.is_none xcol then []
+      else begin
+        let xs = List.map Option.get xcol in
+        List.filteri (fun i _ -> i <> xi) headers
+        |> List.mapi (fun _ h ->
+               let ci = Option.get (List.find_index (fun h' -> h' = h) headers) in
+               let points =
+                 List.filter_map
+                   (fun (xv, row) ->
+                     match parse (List.nth row ci) with Some y -> Some (xv, y) | None -> None)
+                   (List.combine xs rows)
+               in
+               { label = h; points })
+        |> List.filter (fun s -> s.points <> [])
+      end
+
+let save ~path text = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)

@@ -1,0 +1,29 @@
+(** Self-contained SVG line charts for the experiment "figures".
+
+    The paper-shaped outputs E2 and E5 are series (ratio vs a scale
+    parameter); this renders them as standalone SVG documents with axes,
+    ticks, legend and optional logarithmic y-axis — no external assets or
+    dependencies. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Defaults: 640x400, linear y.  Points with non-positive y are dropped
+    when [log_y]; empty input renders an empty-plot note.  Raises
+    [Invalid_argument] on degenerate dimensions. *)
+
+val of_table : x:string -> Table.t -> series list
+(** Interpret a table as series: column [x] gives the x-coordinates and
+    every other numeric column becomes one series (non-numeric cells are
+    skipped).  Returns [[]] when column [x] is missing or non-numeric. *)
+
+val save : path:string -> string -> unit
+(** Write a rendered chart (or any text) to a file. *)

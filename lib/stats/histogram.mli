@@ -1,0 +1,19 @@
+(** ASCII histograms for quick distribution views in examples and the
+    CLI. *)
+
+type t
+
+val create : ?bins:int -> float array -> t
+(** [create ~bins values] (default 12 bins) over [min..max] of the data;
+    raises [Invalid_argument] on empty input. *)
+
+val log_bins : ?bins:int -> float array -> t
+(** Geometric bin edges — the right view for heavy-tailed flow times.  All
+    values must be positive. *)
+
+val render : ?width:int -> t -> string
+(** Bars scaled to [width] (default 50) characters, one line per bin with
+    its range and count. *)
+
+val counts : t -> (float * float * int) list
+(** [(lo, hi, count)] per bin. *)

@@ -1,0 +1,18 @@
+(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+
+    Experiments replicate runs over seeds; each run is independent, so they
+    map cleanly onto domains.  Results are returned in input order, making
+    parallel and sequential execution observationally identical, and any
+    exception from a worker is re-raised in the caller. *)
+
+val default_domains : unit -> int
+(** [max 1 (recommended_domain_count - 1)], leaving a core for the
+    caller. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] applies [f] to every element, splitting the work over
+    up to [domains] domains (default {!default_domains}; [1] runs inline).
+    [f] must be safe to run concurrently with itself — in this codebase
+    that means: do not share an {!Rng.t} across items. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,26 @@
+(** Closed-form queueing predictions used to validate the simulator.
+
+    A single machine under Poisson arrivals and FIFO service is an M/G/1
+    queue, whose stationary mean waiting time has the exact
+    Pollaczek-Khinchine form — an independent ground truth the event-driven
+    driver must reproduce. *)
+
+val mg1_mean_wait : lambda:float -> es:float -> es2:float -> float
+(** [mg1_mean_wait ~lambda ~es ~es2] is the Pollaczek-Khinchine mean
+    waiting time [lambda es2 / (2 (1 - rho))] with [rho = lambda es];
+    requires [rho < 1].  [es] and [es2] are the first two moments of the
+    service time. *)
+
+val mg1_mean_flow : lambda:float -> es:float -> es2:float -> float
+(** Mean flow (sojourn) time: waiting plus service. *)
+
+val mm1_mean_flow : lambda:float -> mu:float -> float
+(** The M/M/1 special case [1 / (mu - lambda)]. *)
+
+val moments_uniform : lo:float -> hi:float -> float * float
+(** First two moments of Uniform(lo, hi). *)
+
+val moments_exponential : mean:float -> float * float
+(** First two moments of Exp with the given mean. *)
+
+val moments_bimodal : lo:float -> hi:float -> p_hi:float -> float * float

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Mixing functions from the SplitMix64 reference implementation. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high-quality bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t lo hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* 62 random bits fit positively in OCaml's 63-bit native int; plain
+     modulo bias is negligible for our n << 2^62 use cases. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  bits mod n
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1.0 -. float t in
+  -.log u /. rate
+
+let pareto t ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  let u = 1.0 -. float t in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,28 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1 denominator). *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  total : float;
+}
+
+val of_array : float array -> t
+(** [of_array a] summarizes [a]; raises [Invalid_argument] when empty. *)
+
+val of_list : float list -> t
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [[0,1]] over a sorted array, using
+    nearest-rank with linear interpolation. *)
+
+val mean : float list -> float
+val geometric_mean : float list -> float
+
+val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering. *)

@@ -1,0 +1,91 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~columns =
+  assert (columns <> []);
+  { title; columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns in %S"
+         (List.length row) (List.length t.columns) t.title);
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rev_rows
+
+let cell_float v =
+  if Float.is_nan v then "nan"
+  else if Float.is_integer v && Float.abs v < 1e15 && Float.abs v >= 1000. then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let cell_int = string_of_int
+let cell_bool b = if b then "yes" else "no"
+
+let looks_numeric s =
+  s <> ""
+  && (match s.[0] with '0' .. '9' | '-' | '+' | '.' -> true | _ -> false)
+
+let render t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  (* A column is right-aligned when every data cell in it looks numeric. *)
+  let numeric = Array.make ncols true in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if not (looks_numeric cell) then numeric.(i) <- false) row)
+    (rows t);
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else if numeric.(i) then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row_to_csv row = String.concat "," (List.map csv_quote row) in
+  Buffer.add_string buf (row_to_csv t.columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (row_to_csv row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf

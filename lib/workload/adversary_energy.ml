@@ -1,0 +1,68 @@
+type alg = {
+  name : string;
+  place : release:float -> deadline:float -> volume:float -> float * float;
+}
+
+type placed = {
+  release : float;
+  deadline : float;
+  volume : float;
+  start : float;
+  speed : float;
+}
+
+type result = {
+  jobs : placed list;
+  alg_energy : float;
+  adv_energy : float;
+  rounds : int;
+}
+
+let feasibility_slack = 1e-6
+
+(* Energy of a set of (start, stop, speed) rectangles under P(s) = s^alpha:
+   sweep the union of endpoints. *)
+let profile_energy ~alpha rects =
+  let points =
+    List.concat_map (fun (a, b, _) -> [ a; b ]) rects |> List.sort_uniq compare
+  in
+  let rec sweep acc = function
+    | a :: (b :: _ as rest) ->
+        let mid = (a +. b) /. 2. in
+        let speed =
+          List.fold_left (fun s (x, y, v) -> if x <= mid && mid < y then s +. v else s) 0. rects
+        in
+        sweep (acc +. ((b -. a) *. (speed ** alpha))) rest
+    | _ -> acc
+  in
+  sweep 0. points
+
+let run ~alpha alg =
+  if alpha < 1. then invalid_arg "Adversary_energy.run: alpha must be >= 1";
+  let max_jobs = max 1 (int_of_float (Float.ceil alpha)) in
+  let rec play acc rounds ~release ~deadline =
+    let span = deadline -. release in
+    if rounds >= max_jobs || span <= 1. then List.rev acc
+    else begin
+      let volume = span /. 3. in
+      let start, speed = alg.place ~release ~deadline ~volume in
+      if speed <= 0. then invalid_arg (Printf.sprintf "%s returned non-positive speed" alg.name);
+      let finish = start +. (volume /. speed) in
+      if start < release -. feasibility_slack || finish > deadline +. feasibility_slack then
+        invalid_arg
+          (Printf.sprintf "%s placed [%g,%g] outside span [%g,%g]" alg.name start finish
+             release deadline);
+      let placed = { release; deadline; volume; start; speed } in
+      (* Next job: release S_j + 1, deadline C_j. *)
+      play (placed :: acc) (rounds + 1) ~release:(start +. 1.) ~deadline:finish
+    end
+  in
+  let d1 = 3. ** (alpha +. 1.) in
+  let jobs = play [] 0 ~release:0. ~deadline:d1 in
+  let rects = List.map (fun p -> (p.start, p.start +. (p.volume /. p.speed), p.speed)) jobs in
+  {
+    jobs;
+    alg_energy = profile_energy ~alpha rects;
+    adv_energy = List.fold_left (fun acc p -> acc +. p.volume) 0. jobs;
+    rounds = List.length jobs;
+  }

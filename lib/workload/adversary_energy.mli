@@ -1,0 +1,45 @@
+(** The Lemma 2 adaptive adversary: any deterministic algorithm for
+    non-preemptive energy minimization is at least
+    [(alpha/9)^alpha]-competitive (single machine).
+
+    Protocol (the paper's construction): job 1 has span [[0, 3^(alpha+1)]]
+    and volume [span/3].  After the algorithm commits to a start [S_j] and
+    speed [v_j] (hence completion [C_j = S_j + p_j / v_j]), the adversary
+    releases job [j+1] with release [S_j + 1], deadline [C_j], and volume a
+    third of its span.  The game stops after [ceil alpha] jobs or when the
+    next span would be at most 1.
+
+    Every released job overlaps all others in the algorithm's schedule, so
+    the aggregate speed — and hence energy — blows up; the adversary can run
+    each job at speed 1 with no overlap for total energy [sum_j p_j]. *)
+
+type alg = {
+  name : string;
+  place : release:float -> deadline:float -> volume:float -> float * float;
+      (** Returns [(start, speed)]; the execution [[start, start + volume/speed]]
+          must fit in [[release, deadline]]. *)
+}
+
+type placed = {
+  release : float;
+  deadline : float;
+  volume : float;
+  start : float;
+  speed : float;
+}
+
+type result = {
+  jobs : placed list;  (** In release order. *)
+  alg_energy : float;
+      (** Integral of (aggregate speed)^alpha of the algorithm's
+          placements, computed by the adversary (not trusted from the
+          algorithm). *)
+  adv_energy : float;
+      (** The adversary's cost: speed-1, overlap-free execution, i.e.
+          [sum_j volume_j]. *)
+  rounds : int;
+}
+
+val run : alpha:float -> alg -> result
+(** Plays the game; raises [Invalid_argument] when the algorithm returns an
+    infeasible placement. *)

@@ -1,0 +1,152 @@
+open Sched_model
+open Sched_stats
+
+type arrivals =
+  | Poisson of float
+  | Batched of { every : float; size : int }
+  | Bursty of { rate : float; burst_every : float; burst_size : int }
+  | Diurnal of { base_rate : float; amplitude : float; period : float }
+  | All_at_zero
+
+type deadlines =
+  | No_deadlines
+  | Laxity of Dist.t
+  | Slot_laxity of { min_slots : int; max_slots : int }
+
+type t = {
+  name : string;
+  n : int;
+  m : int;
+  arrivals : arrivals;
+  sizes : Dist.t;
+  weights : Dist.t option;
+  shape : Shape.t;
+  deadlines : deadlines;
+  alpha : float;
+}
+
+let make ?name ?arrivals ?(sizes = Dist.uniform ~lo:1. ~hi:10.) ?weights
+    ?(shape = Shape.identical) ?(deadlines = No_deadlines) ?(alpha = 3.0) ~n ~m () =
+  if n <= 0 then invalid_arg "Gen.make: n must be positive";
+  if m <= 0 then invalid_arg "Gen.make: m must be positive";
+  let arrivals =
+    match arrivals with
+    | Some a -> a
+    | None ->
+        (* Default: load the fleet to ~80% given the mean size. *)
+        let mean_size = match Dist.mean sizes with Some mu -> mu | None -> 1. in
+        Poisson (0.8 *. float_of_int m /. mean_size)
+  in
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "gen(n=%d,m=%d,%s,%s)" n m (Dist.name sizes) (Shape.name shape)
+  in
+  { name; n; m; arrivals; sizes; weights; shape; deadlines; alpha }
+
+let release_times t rng =
+  match t.arrivals with
+  | All_at_zero -> Array.make t.n 0.
+  | Poisson rate ->
+      assert (rate > 0.);
+      let times = Array.make t.n 0. in
+      let clock = ref 0. in
+      for k = 0 to t.n - 1 do
+        clock := !clock +. Rng.exponential rng rate;
+        times.(k) <- !clock
+      done;
+      times
+  | Batched { every; size } ->
+      assert (every > 0. && size > 0);
+      Array.init t.n (fun k -> float_of_int (k / size) *. every)
+  | Diurnal { base_rate; amplitude; period } ->
+      assert (base_rate > 0. && amplitude >= 0. && amplitude <= 1. && period > 0.);
+      (* Thinning (Lewis-Shedler): draw from the envelope rate
+         [base_rate * (1 + amplitude)] and accept with probability
+         [intensity(t) / envelope]. *)
+      let envelope = base_rate *. (1. +. amplitude) in
+      let times = Array.make t.n 0. in
+      let clock = ref 0. and filled = ref 0 in
+      while !filled < t.n do
+        clock := !clock +. Rng.exponential rng envelope;
+        let intensity =
+          base_rate *. (1. +. (amplitude *. sin (2. *. Float.pi *. !clock /. period)))
+        in
+        if Rng.float rng < intensity /. envelope then begin
+          times.(!filled) <- !clock;
+          incr filled
+        end
+      done;
+      times
+  | Bursty { rate; burst_every; burst_size } ->
+      assert (rate > 0. && burst_every > 0. && burst_size >= 0);
+      let times = Array.make t.n 0. in
+      let clock = ref 0. and filled = ref 0 in
+      let next_burst = ref burst_every in
+      while !filled < t.n do
+        let dt = Rng.exponential rng rate in
+        if !clock +. dt >= !next_burst && !filled + burst_size <= t.n then begin
+          clock := !next_burst;
+          next_burst := !next_burst +. burst_every;
+          for _ = 1 to min burst_size (t.n - !filled) do
+            times.(!filled) <- !clock;
+            incr filled
+          done
+        end
+        else begin
+          clock := !clock +. dt;
+          if !filled < t.n then begin
+            times.(!filled) <- !clock;
+            incr filled
+          end
+        end
+      done;
+      Array.sort compare times;
+      times
+
+let instance t ~seed =
+  let rng = Rng.create seed in
+  let arrival_rng = Rng.split rng in
+  let size_rng = Rng.split rng in
+  let shape_rng = Rng.split rng in
+  let weight_rng = Rng.split rng in
+  let deadline_rng = Rng.split rng in
+  let releases = release_times t arrival_rng in
+  let jobs =
+    List.init t.n (fun id ->
+        let base = Dist.sample t.sizes size_rng in
+        let sizes = Shape.sizes t.shape shape_rng ~base ~m:t.m in
+        let weight = match t.weights with None -> 1. | Some d -> Dist.sample d weight_rng in
+        let release, deadline =
+          match t.deadlines with
+          | No_deadlines -> (releases.(id), None)
+          | Laxity d ->
+              let lax = Float.max 1.01 (Dist.sample d deadline_rng) in
+              let pmin = Array.fold_left Float.min Float.infinity sizes in
+              (releases.(id), Some (releases.(id) +. (lax *. pmin)))
+          | Slot_laxity { min_slots; max_slots } ->
+              assert (0 < min_slots && min_slots <= max_slots);
+              let r = Float.of_int (int_of_float releases.(id)) in
+              let pmin = Array.fold_left Float.min Float.infinity sizes in
+              let need = max min_slots (int_of_float (Float.ceil pmin)) in
+              let span = need + Rng.int deadline_rng (max 1 (max_slots - need + 1)) in
+              (r, Some (r +. float_of_int span))
+        in
+        Job.create ~id ~release ~weight ?deadline ~sizes ())
+  in
+  let machines = Machine.fleet ~alpha:t.alpha t.m in
+  Instance.create ~name:(Printf.sprintf "%s#%d" t.name seed) ~machines ~jobs ()
+
+let describe t =
+  let arr =
+    match t.arrivals with
+    | Poisson r -> Printf.sprintf "poisson(%g)" r
+    | Batched { every; size } -> Printf.sprintf "batched(%g,%d)" every size
+    | Bursty { rate; burst_every; burst_size } ->
+        Printf.sprintf "bursty(%g,%g,%d)" rate burst_every burst_size
+    | Diurnal { base_rate; amplitude; period } ->
+        Printf.sprintf "diurnal(%g,%g,%g)" base_rate amplitude period
+    | All_at_zero -> "all-at-zero"
+  in
+  Printf.sprintf "%s: n=%d m=%d arrivals=%s sizes=%s shape=%s" t.name t.n t.m arr
+    (Dist.name t.sizes) (Shape.name t.shape)

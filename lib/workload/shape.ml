@@ -1,0 +1,51 @@
+open Sched_stats
+
+type t = { name : string; sizes : Rng.t -> base:float -> m:int -> float array }
+
+let name t = t.name
+let sizes t rng ~base ~m = t.sizes rng ~base ~m
+
+let identical =
+  { name = "identical"; sizes = (fun _ ~base ~m -> Array.make m base) }
+
+let related ~speeds =
+  Array.iter (fun s -> if s <= 0. then invalid_arg "Shape.related: non-positive speed") speeds;
+  let k = Array.length speeds in
+  if k = 0 then invalid_arg "Shape.related: empty speeds";
+  {
+    name = Printf.sprintf "related(%d speeds)" k;
+    sizes = (fun _ ~base ~m -> Array.init m (fun i -> base /. speeds.(i mod k)));
+  }
+
+let unrelated ~spread =
+  if spread < 1. then invalid_arg "Shape.unrelated: spread must be >= 1";
+  {
+    name = Printf.sprintf "unrelated(%g)" spread;
+    sizes =
+      (fun rng ~base ~m ->
+        Array.init m (fun _ -> base *. Rng.float_range rng (1. /. spread) spread));
+  }
+
+let restricted ~eligible_prob =
+  if not (eligible_prob > 0. && eligible_prob <= 1.) then
+    invalid_arg "Shape.restricted: eligible_prob must be in (0,1]";
+  {
+    name = Printf.sprintf "restricted(%g)" eligible_prob;
+    sizes =
+      (fun rng ~base ~m ->
+        let v = Array.init m (fun _ -> if Rng.float rng < eligible_prob then base else Float.infinity) in
+        if Array.for_all (fun p -> p = Float.infinity) v then v.(Rng.int rng m) <- base;
+        v);
+  }
+
+let clustered ~clusters ~penalty =
+  if clusters < 1 then invalid_arg "Shape.clustered: need at least one cluster";
+  if penalty < 1. then invalid_arg "Shape.clustered: penalty must be >= 1";
+  {
+    name = Printf.sprintf "clustered(%d,x%g)" clusters penalty;
+    sizes =
+      (fun rng ~base ~m ->
+        let k = min clusters m in
+        let mine = Rng.int rng k in
+        Array.init m (fun i -> if i mod k = mine then base else base *. penalty));
+  }

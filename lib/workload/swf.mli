@@ -1,0 +1,39 @@
+(** Standard Workload Format (SWF) import.
+
+    SWF is the de-facto interchange format of the Parallel Workloads
+    Archive: one line per job with 18 whitespace-separated fields
+    ([;]-prefixed comment/header lines).  We map the fields a flow-time
+    simulator can use:
+
+    - field 2 (submit time)    -> release,
+    - field 4 (run time, s)    -> base size (skipping jobs with missing
+      [-1] runtimes),
+    - field 5 (allocated processors) is folded into the size as
+      [runtime * procs / target_m] so total demand is preserved on an
+      [m]-machine fleet of serial machines.
+
+    The importer re-bases submit times to start at 0, optionally truncates
+    to the first [max_jobs] usable jobs, and applies a machine {!Shape} to
+    produce unrelated sizes from the base size.  This lets every policy in
+    the repository run on real cluster traces (none ship in this sealed
+    build, so {!example} provides a small synthetic SWF text used by tests
+    and docs). *)
+
+open Sched_model
+
+val parse :
+  ?max_jobs:int ->
+  ?m:int ->
+  ?shape:Shape.t ->
+  ?rng:Sched_stats.Rng.t ->
+  string ->
+  (Instance.t, string) result
+(** [parse text] builds an instance from SWF text.  Defaults: all usable
+    jobs, [m = 4] machines, identical shape (a fresh seeded {!Rng} is used
+    only when [shape] needs randomness).  Fails with a message naming the
+    first malformed line. *)
+
+val load : path:string -> ?max_jobs:int -> ?m:int -> ?shape:Shape.t -> unit -> (Instance.t, string) result
+
+val example : string
+(** A small, well-formed SWF snippet (8 jobs) for tests and quickstarts. *)

@@ -1,0 +1,73 @@
+open Sched_model
+
+let rebuild ~name instance f =
+  let jobs =
+    Array.to_list (Array.map f (Instance.jobs_by_release instance))
+  in
+  let machines =
+    Array.init (Instance.m instance) (Instance.machine instance)
+  in
+  Instance.create ~name ~machines ~jobs ()
+
+let scale_time c instance =
+  if c <= 0. || not (Float.is_finite c) then invalid_arg "Transform.scale_time: bad factor";
+  rebuild ~name:(instance.Instance.name ^ Printf.sprintf "(x%g time)" c) instance
+    (fun (j : Job.t) ->
+      Job.create ~id:j.id ~release:(c *. j.release) ~weight:j.weight
+        ?deadline:(Option.map (fun d -> c *. d) j.deadline)
+        ~sizes:(Array.map (fun p -> c *. p) j.sizes)
+        ())
+
+let scale_sizes c instance =
+  if c <= 0. || not (Float.is_finite c) then invalid_arg "Transform.scale_sizes: bad factor";
+  rebuild ~name:(instance.Instance.name ^ Printf.sprintf "(x%g sizes)" c) instance
+    (fun (j : Job.t) ->
+      Job.create ~id:j.id ~release:j.release ~weight:j.weight ?deadline:j.deadline
+        ~sizes:(Array.map (fun p -> c *. p) j.sizes)
+        ())
+
+let shift_releases delta instance =
+  if delta < 0. then invalid_arg "Transform.shift_releases: negative shift";
+  rebuild ~name:(instance.Instance.name ^ Printf.sprintf "(+%g)" delta) instance
+    (fun (j : Job.t) ->
+      Job.create ~id:j.id ~release:(j.release +. delta) ~weight:j.weight
+        ?deadline:(Option.map (fun d -> d +. delta) j.deadline)
+        ~sizes:j.sizes ())
+
+let subsample rng ~keep instance =
+  if not (keep > 0. && keep <= 1.) then invalid_arg "Transform.subsample: keep must be in (0,1]";
+  let kept =
+    Array.to_list (Instance.jobs_by_release instance)
+    |> List.filter (fun _ -> Sched_stats.Rng.float rng < keep)
+  in
+  let kept =
+    match kept with
+    | [] -> [ (Instance.jobs_by_release instance).(0) ]
+    | l -> l
+  in
+  let jobs =
+    List.mapi
+      (fun id (j : Job.t) ->
+        Job.create ~id ~release:j.release ~weight:j.weight ?deadline:j.deadline ~sizes:j.sizes ())
+      kept
+  in
+  let machines = Array.init (Instance.m instance) (Instance.machine instance) in
+  Instance.create ~name:(instance.Instance.name ^ "(sub)") ~machines ~jobs ()
+
+let concat ?(gap = 0.) a b =
+  if Instance.m a <> Instance.m b then invalid_arg "Transform.concat: fleet sizes differ";
+  if gap < 0. then invalid_arg "Transform.concat: negative gap";
+  let offset = Instance.horizon a +. gap in
+  let na = Instance.n a in
+  let jobs_a = Array.to_list (Instance.jobs_by_release a) in
+  let jobs_b =
+    Array.to_list (Instance.jobs_by_release b)
+    |> List.map (fun (j : Job.t) ->
+           Job.create ~id:(na + j.id) ~release:(j.release +. offset) ~weight:j.weight
+             ?deadline:(Option.map (fun d -> d +. offset) j.deadline)
+             ~sizes:j.sizes ())
+  in
+  let machines = Array.init (Instance.m a) (Instance.machine a) in
+  Instance.create
+    ~name:(a.Instance.name ^ "++" ^ b.Instance.name)
+    ~machines ~jobs:(jobs_a @ jobs_b) ()

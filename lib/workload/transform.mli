@@ -1,0 +1,29 @@
+(** Instance transformations.
+
+    Besides their utility for building experiment variants, these enable
+    {e metamorphic} testing of the whole stack: the model, driver and all
+    policies are exactly scale-invariant, so e.g. [scale_time c] must scale
+    every flow-time by [c] — an end-to-end invariant the test suite
+    checks. *)
+
+open Sched_model
+
+val scale_time : float -> Instance.t -> Instance.t
+(** Multiply releases, sizes and deadlines by [c > 0]: a pure change of
+    time unit.  Flow-times of any scale-invariant policy scale by exactly
+    [c]. *)
+
+val scale_sizes : float -> Instance.t -> Instance.t
+(** Multiply only the processing sizes (load knob). *)
+
+val shift_releases : float -> Instance.t -> Instance.t
+(** Add [delta >= 0] to every release (and deadline). *)
+
+val subsample : Sched_stats.Rng.t -> keep:float -> Instance.t -> Instance.t
+(** Keep each job independently with probability [keep]; at least one job
+    is always retained.  Job ids are renumbered [0..n'-1]. *)
+
+val concat : ?gap:float -> Instance.t -> Instance.t -> Instance.t
+(** Play instance [b] after instance [a]: [b]'s releases are shifted past
+    [a]'s horizon plus [gap] (default 0).  Machine fleets must have equal
+    size; [a]'s machines are kept. *)

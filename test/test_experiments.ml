@@ -1,0 +1,56 @@
+open Sched_experiments
+
+let test_registry_complete () =
+  Alcotest.(check int) "thirteen experiments" 13 (List.length Registry.all);
+  let ids = List.map (fun e -> e.Registry.id) Registry.all in
+  Alcotest.(check (list string)) "expected ids"
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e11"; "e12"; "e13"; "e14" ]
+    ids;
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_find () =
+  Alcotest.(check bool) "find e3" true (Registry.find "e3" <> None);
+  Alcotest.(check bool) "unknown" true (Registry.find "e42" = None)
+
+let table_testable = Alcotest.testable (fun ppf t -> Fmt.string ppf (Sched_stats.Table.title t)) ( == )
+
+let run_and_check entry =
+  let tables = entry.Registry.run ~quick:true in
+  Alcotest.(check bool) "at least one table" true (tables <> []);
+  List.iter
+    (fun t ->
+      let cols = List.length (Sched_stats.Table.columns t) in
+      Alcotest.(check bool) "has rows" true (Sched_stats.Table.rows t <> []);
+      List.iter
+        (fun row -> Alcotest.(check int) "row width" cols (List.length row))
+        (Sched_stats.Table.rows t);
+      (* Any ok/in-band verdict column must be all-"yes": these encode the
+         paper's claims. *)
+      let headers = Sched_stats.Table.columns t in
+      List.iter
+        (fun row ->
+          List.iter2
+            (fun h cell ->
+              if h = "ok" || h = "in-band" || h = "budget-ok" then
+                Alcotest.(check string) (Sched_stats.Table.title t ^ ": claim holds") "yes"
+                  (String.trim cell))
+            headers row)
+        (Sched_stats.Table.rows t))
+    tables
+
+let experiment_cases =
+  List.map
+    (fun e ->
+      Alcotest.test_case (e.Registry.id ^ " " ^ e.Registry.title) `Slow (fun () ->
+          run_and_check e))
+    Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "registry find" `Quick test_find;
+  ]
+  @ experiment_cases
+
+let _ = table_testable

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "rejection-scheduling"
+    [
+      ("rng", Test_rng.suite);
+      ("dist", Test_dist.suite);
+      ("summary+table", Test_summary_table.suite);
+      ("model", Test_model.suite);
+      ("schedule", Test_schedule.suite);
+      ("metrics", Test_metrics.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("driver", Test_driver.suite);
+      ("flow-reject", Test_flow_reject.suite);
+      ("flow-energy", Test_flow_energy.suite);
+      ("energy-config", Test_energy_config.suite);
+      ("bounds", Test_bounds.suite);
+      ("simplex", Test_simplex.suite);
+      ("lp+dual", Test_lp_dual.suite);
+      ("baselines", Test_baselines.suite);
+      ("energy-lib", Test_energy_lib.suite);
+      ("workload", Test_workload.suite);
+      ("adversaries", Test_adversaries.suite);
+      ("oa", Test_oa.suite);
+      ("weighted", Test_weighted.suite);
+      ("api+edge", Test_api_edge.suite);
+      ("restart", Test_restart.suite);
+      ("transform", Test_transform.suite);
+      ("pp", Test_pp.suite);
+      ("extensions", Test_extensions.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,146 @@
+open Sched_model
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* --- Job --- *)
+
+let test_job_create () =
+  let j = Job.create ~id:0 ~release:1. ~weight:2. ~sizes:[| 3.; 5. |] () in
+  Alcotest.(check (float 0.)) "size 0" 3. (Job.size j 0);
+  Alcotest.(check (float 0.)) "size 1" 5. (Job.size j 1);
+  Alcotest.(check (float 0.)) "min size" 3. (Job.min_size j);
+  Alcotest.(check int) "best machine" 0 (Job.best_machine j);
+  Alcotest.(check bool) "eligible" true (Job.eligible j 1)
+
+let test_job_restricted () =
+  let j = Job.create ~id:0 ~release:0. ~sizes:[| Float.infinity; 4. |] () in
+  Alcotest.(check bool) "machine 0 ineligible" false (Job.eligible j 0);
+  Alcotest.(check int) "best machine" 1 (Job.best_machine j);
+  Alcotest.(check (float 0.)) "min size" 4. (Job.min_size j)
+
+let test_job_validation () =
+  Alcotest.(check bool) "negative release" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:(-1.) ~sizes:[| 1. |] ()));
+  Alcotest.(check bool) "zero size" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:0. ~sizes:[| 0. |] ()));
+  Alcotest.(check bool) "all infinite" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:0. ~sizes:[| Float.infinity |] ()));
+  Alcotest.(check bool) "empty sizes" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:0. ~sizes:[||] ()));
+  Alcotest.(check bool) "bad weight" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:0. ~weight:0. ~sizes:[| 1. |] ()));
+  Alcotest.(check bool) "deadline before release" true
+    (raises_invalid (fun () -> Job.create ~id:0 ~release:5. ~deadline:5. ~sizes:[| 1. |] ()))
+
+let test_job_span () =
+  let j = Job.create ~id:0 ~release:2. ~deadline:10. ~sizes:[| 1. |] () in
+  Alcotest.(check (option (float 1e-12))) "span" (Some 8.) (Job.span j)
+
+let test_job_order () =
+  let a = Job.create ~id:0 ~release:1. ~sizes:[| 1. |] () in
+  let b = Job.create ~id:1 ~release:1. ~sizes:[| 1. |] () in
+  let c = Job.create ~id:2 ~release:0.5 ~sizes:[| 1. |] () in
+  Alcotest.(check bool) "release order" true (Job.compare_by_release c a < 0);
+  Alcotest.(check bool) "tie by id" true (Job.compare_by_release a b < 0)
+
+(* --- Machine --- *)
+
+let test_machine () =
+  let m = Machine.create ~id:3 ~speed:2. ~alpha:2.5 () in
+  Alcotest.(check int) "id" 3 m.Machine.id;
+  Alcotest.(check (float 0.)) "speed" 2. m.Machine.speed;
+  let m' = Machine.with_speed m 4. in
+  Alcotest.(check (float 0.)) "with_speed" 4. m'.Machine.speed;
+  Alcotest.(check (float 0.)) "alpha kept" 2.5 m'.Machine.alpha;
+  Alcotest.(check bool) "bad speed" true (raises_invalid (fun () -> Machine.create ~id:0 ~speed:0. ()));
+  Alcotest.(check bool) "bad alpha" true (raises_invalid (fun () -> Machine.create ~id:0 ~alpha:0.5 ()));
+  let fleet = Machine.fleet 4 in
+  Alcotest.(check int) "fleet size" 4 (Array.length fleet);
+  Array.iteri (fun i (mc : Machine.t) -> Alcotest.(check int) "fleet ids" i mc.Machine.id) fleet
+
+(* --- Instance --- *)
+
+let test_instance_basics () =
+  let inst =
+    Test_util.instance ~machines:2 [ (0., [| 2.; 3. |]); (1., [| 4.; 1. |]); (0.5, [| 5.; 5. |]) ]
+  in
+  Alcotest.(check int) "n" 3 (Instance.n inst);
+  Alcotest.(check int) "m" 2 (Instance.m inst);
+  Alcotest.(check (float 1e-12)) "total weight" 3. (Instance.total_weight inst);
+  Alcotest.(check (float 1e-12)) "min volume" (2. +. 1. +. 5.) (Instance.total_min_volume inst);
+  Alcotest.(check (float 1e-12)) "delta" 5. (Instance.delta inst);
+  Alcotest.(check bool) "no deadlines" false (Instance.has_deadlines inst);
+  (* Jobs sorted by release. *)
+  let jobs = Instance.jobs_by_release inst in
+  Alcotest.(check (list int)) "release order" [ 0; 2; 1 ]
+    (Array.to_list (Array.map (fun (j : Job.t) -> j.Job.id) jobs));
+  (* Lookup by id works even when order differs. *)
+  Alcotest.(check (float 0.)) "job lookup" 4. (Job.size (Instance.job inst 1) 0)
+
+let test_instance_validation () =
+  Alcotest.(check bool) "size vector mismatch" true
+    (raises_invalid (fun () ->
+         Instance.create ~machines:(Machine.fleet 2)
+           ~jobs:[ Job.create ~id:0 ~release:0. ~sizes:[| 1. |] () ]
+           ()));
+  Alcotest.(check bool) "duplicate ids" true
+    (raises_invalid (fun () ->
+         Instance.create ~machines:(Machine.fleet 1)
+           ~jobs:
+             [
+               Job.create ~id:0 ~release:0. ~sizes:[| 1. |] ();
+               Job.create ~id:0 ~release:1. ~sizes:[| 1. |] ();
+             ]
+           ()));
+  Alcotest.(check bool) "gap in ids" true
+    (raises_invalid (fun () ->
+         Instance.create ~machines:(Machine.fleet 1)
+           ~jobs:[ Job.create ~id:1 ~release:0. ~sizes:[| 1. |] () ]
+           ()));
+  Alcotest.(check bool) "no machines" true
+    (raises_invalid (fun () -> Instance.create ~machines:[||] ~jobs:[] ()))
+
+let test_instance_horizon () =
+  let inst = Test_util.instance [ (10., [| 2. |]); (0., [| 3. |]) ] in
+  Alcotest.(check bool) "horizon covers everything" true (Instance.horizon inst >= 15.)
+
+(* --- Time --- *)
+
+let test_time () =
+  Alcotest.(check bool) "equal with tolerance" true (Time.equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "lt strict" true (Time.lt 1. 1.1);
+  Alcotest.(check bool) "lt not for close" false (Time.lt 1. (1. +. 1e-12));
+  Alcotest.(check bool) "leq" true (Time.leq 1.1 1.1);
+  Alcotest.(check bool) "nonneg tolerance" true (Time.nonneg (-1e-12));
+  Alcotest.(check bool) "nonneg strict" false (Time.nonneg (-1.))
+
+(* --- Outcome --- *)
+
+let test_outcome () =
+  let j = Job.create ~id:0 ~release:2. ~sizes:[| 3. |] () in
+  let completed = Outcome.Completed { machine = 0; start = 2.; speed = 1.; finish = 5. } in
+  let rejected = Outcome.Rejected { time = 4.; assigned_to = Some 0; was_running = true } in
+  Alcotest.(check bool) "completed" true (Outcome.is_completed completed);
+  Alcotest.(check bool) "rejected" true (Outcome.is_rejected rejected);
+  Alcotest.(check (float 0.)) "flow completed" 3. (Outcome.flow_time j completed);
+  Alcotest.(check (float 0.)) "flow rejected" 2. (Outcome.flow_time j rejected);
+  Alcotest.(check (float 0.)) "end time" 4. (Outcome.end_time rejected)
+
+let suite =
+  [
+    Alcotest.test_case "job create" `Quick test_job_create;
+    Alcotest.test_case "job restricted" `Quick test_job_restricted;
+    Alcotest.test_case "job validation" `Quick test_job_validation;
+    Alcotest.test_case "job span" `Quick test_job_span;
+    Alcotest.test_case "job order" `Quick test_job_order;
+    Alcotest.test_case "machine" `Quick test_machine;
+    Alcotest.test_case "instance basics" `Quick test_instance_basics;
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "instance horizon" `Quick test_instance_horizon;
+    Alcotest.test_case "time comparisons" `Quick test_time;
+    Alcotest.test_case "outcome" `Quick test_outcome;
+  ]

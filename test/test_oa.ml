@@ -1,0 +1,77 @@
+open Sched_energy
+
+let job release deadline volume = { Yds.release; deadline; volume }
+
+let test_single_job_matches_yds () =
+  let jobs = [ job 0. 4. 2. ] in
+  Alcotest.(check (float 1e-9)) "oa = yds for one job"
+    (Yds.optimal_energy ~alpha:3. jobs)
+    (Oa.energy ~alpha:3. jobs)
+
+let test_all_released_at_zero_matches_yds () =
+  (* With no future arrivals OA executes the optimal plan it computes at
+     time 0, so OA = YDS. *)
+  let jobs = [ job 0. 4. 2.; job 0. 2. 1.; job 0. 8. 1. ] in
+  Alcotest.(check (float 1e-6)) "oa = yds offline"
+    (Yds.optimal_energy ~alpha:2. jobs)
+    (Oa.energy ~alpha:2. jobs)
+
+let test_two_disjoint () =
+  let jobs = [ job 0. 2. 2.; job 2. 4. 2. ] in
+  (* Unit speed throughout. *)
+  Alcotest.(check (float 1e-9)) "disjoint" 4. (Oa.energy ~alpha:2. jobs)
+
+let test_oa_above_yds_property () =
+  QCheck.Test.make ~name:"OA >= YDS (online pays)" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (triple (float_range 0. 10.) (float_range 0.5 5.) (float_range 0.5 5.)))
+    (fun raw ->
+      let jobs = List.map (fun (r, span, v) -> job r (r +. span) v) raw in
+      Oa.energy ~alpha:3. jobs >= Yds.optimal_energy ~alpha:3. jobs -. 1e-6)
+  |> QCheck_alcotest.to_alcotest
+
+let test_oa_within_alpha_alpha_property () =
+  QCheck.Test.make ~name:"OA <= alpha^alpha * YDS (BKP bound)" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (triple (float_range 0. 10.) (float_range 0.5 5.) (float_range 0.5 5.)))
+    (fun raw ->
+      let alpha = 2.5 in
+      let jobs = List.map (fun (r, span, v) -> job r (r +. span) v) raw in
+      Oa.energy ~alpha jobs <= ((alpha ** alpha) *. Yds.optimal_energy ~alpha jobs) +. 1e-6)
+  |> QCheck_alcotest.to_alcotest
+
+let test_late_arrival_costs_more () =
+  (* Same work, but revealed late with a tight window: OA must pay more
+     than the offline optimum. *)
+  let offline = [ job 0. 4. 2.; job 0. 4. 2. ] in
+  let online = [ job 0. 4. 2.; job 3. 4. 2. ] in
+  let yds_online = Yds.optimal_energy ~alpha:2. online in
+  let oa_online = Oa.energy ~alpha:2. online in
+  Alcotest.(check bool) "tight late window costs" true (oa_online >= yds_online -. 1e-9);
+  Alcotest.(check bool) "harder than relaxed instance" true
+    (oa_online > Oa.energy ~alpha:2. offline)
+
+let test_validation () =
+  Alcotest.(check bool) "bad volume" true
+    (try
+       ignore (Oa.energy ~alpha:2. [ job 0. 1. 0. ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad span" true
+    (try
+       ignore (Oa.energy ~alpha:2. [ job 2. 1. 1. ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "single job = yds" `Quick test_single_job_matches_yds;
+    Alcotest.test_case "offline case = yds" `Quick test_all_released_at_zero_matches_yds;
+    Alcotest.test_case "disjoint jobs" `Quick test_two_disjoint;
+    test_oa_above_yds_property ();
+    test_oa_within_alpha_alpha_property ();
+    Alcotest.test_case "late arrival costs more" `Quick test_late_arrival_costs_more;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

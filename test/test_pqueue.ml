@@ -1,0 +1,82 @@
+open Sched_sim
+
+let test_basic_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~key:3. ~tag:0 "c";
+  Pqueue.push q ~key:1. ~tag:0 "a";
+  Pqueue.push q ~key:2. ~tag:0 "b";
+  let pop () = match Pqueue.pop q with Some (_, _, x) -> x | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_tag_tiebreak () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~key:1. ~tag:5 "later";
+  Pqueue.push q ~key:1. ~tag:2 "earlier";
+  (match Pqueue.pop q with
+  | Some (_, tag, x) ->
+      Alcotest.(check int) "tag" 2 tag;
+      Alcotest.(check string) "payload" "earlier" x
+  | None -> Alcotest.fail "empty");
+  ()
+
+let test_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek q = None);
+  Pqueue.push q ~key:1. ~tag:0 42;
+  (match Pqueue.peek q with
+  | Some (k, _, v) ->
+      Alcotest.(check (float 0.)) "key" 1. k;
+      Alcotest.(check int) "value" 42 v
+  | None -> Alcotest.fail "peek");
+  Alcotest.(check int) "size unchanged" 1 (Pqueue.size q)
+
+let test_clear () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push q ~key:(float_of_int i) ~tag:i i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_heap_property_random () =
+  let prop (pairs : (float * int) list) =
+    let q = Pqueue.create () in
+    List.iteri (fun i (k, _) -> Pqueue.push q ~key:k ~tag:i ()) pairs;
+    let rec drain acc =
+      match Pqueue.pop q with None -> List.rev acc | Some (k, t, ()) -> drain ((k, t) :: acc)
+    in
+    let popped = drain [] in
+    let expected =
+      List.mapi (fun i (k, _) -> (k, i)) pairs
+      |> List.sort (fun (k1, t1) (k2, t2) -> compare (k1, t1) (k2, t2))
+    in
+    popped = expected
+  in
+  QCheck.Test.make ~name:"pqueue pops in sorted (key, tag) order" ~count:200
+    QCheck.(list (pair (float_range 0. 100.) int))
+    prop
+  |> QCheck_alcotest.to_alcotest
+
+let test_interleaved_push_pop () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~key:5. ~tag:0 5;
+  Pqueue.push q ~key:1. ~tag:1 1;
+  (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "min" 1 v | None -> Alcotest.fail "x");
+  Pqueue.push q ~key:0.5 ~tag:2 0;
+  Pqueue.push q ~key:10. ~tag:3 10;
+  (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "new min" 0 v | None -> Alcotest.fail "x");
+  (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "then 5" 5 v | None -> Alcotest.fail "x");
+  (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "then 10" 10 v | None -> Alcotest.fail "x")
+
+let suite =
+  [
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "tag tiebreak" `Quick test_tag_tiebreak;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "clear" `Quick test_clear;
+    test_heap_property_random ();
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+  ]

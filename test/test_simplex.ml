@@ -1,0 +1,145 @@
+open Sched_lp
+
+let check_optimal outcome ~objective ~tol =
+  match outcome with
+  | Simplex.Optimal { objective = o; _ } ->
+      Alcotest.(check (float tol)) "objective" objective o
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_max_2d () =
+  (* max x + y st x + 2y <= 4, x <= 3 -> (3, 0.5), obj 3.5. *)
+  check_optimal ~objective:3.5 ~tol:1e-9
+    (Simplex.solve ~maximize:true ~c:[| 1.; 1. |]
+       [ ([| 1.; 2. |], Simplex.Le, 4.); ([| 1.; 0. |], Simplex.Le, 3.) ])
+
+let test_min_with_ge () =
+  (* min 2x + 3y st x + y >= 4, x <= 2 -> x=2, y=2, obj 10. *)
+  check_optimal ~objective:10. ~tol:1e-9
+    (Simplex.solve ~c:[| 2.; 3. |]
+       [ ([| 1.; 1. |], Simplex.Ge, 4.); ([| 1.; 0. |], Simplex.Le, 2.) ])
+
+let test_equality () =
+  (* min x + y st x + y = 5, x - y = 1 -> (3, 2), obj 5. *)
+  check_optimal ~objective:5. ~tol:1e-9
+    (Simplex.solve ~c:[| 1.; 1. |]
+       [ ([| 1.; 1. |], Simplex.Eq, 5.); ([| 1.; -1. |], Simplex.Eq, 1.) ])
+
+let test_infeasible () =
+  match
+    Simplex.solve ~c:[| 1. |] [ ([| 1. |], Simplex.Le, 1.); ([| 1. |], Simplex.Ge, 2.) ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "should be infeasible"
+
+let test_unbounded () =
+  match Simplex.solve ~maximize:true ~c:[| 1. |] [ ([| -1. |], Simplex.Le, 1.) ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "should be unbounded"
+
+let test_negative_rhs_normalization () =
+  (* x >= 2 written as -x <= -2; min x -> 2. *)
+  check_optimal ~objective:2. ~tol:1e-9 (Simplex.solve ~c:[| 1. |] [ ([| -1. |], Simplex.Le, -2.) ])
+
+let test_degenerate () =
+  (* Degenerate vertex; Bland's rule must terminate. *)
+  check_optimal ~objective:1. ~tol:1e-9
+    (Simplex.solve ~maximize:true ~c:[| 1.; 0. |]
+       [
+         ([| 1.; 1. |], Simplex.Le, 1.);
+         ([| 1.; -1. |], Simplex.Le, 1.);
+         ([| 1.; 0. |], Simplex.Le, 1.);
+       ])
+
+let test_solution_feasible_property () =
+  (* Random LPs min c.x st A x >= b with nonneg data are always feasible
+     (x large enough) and bounded (c >= 0); check the returned solution
+     satisfies all constraints. *)
+  QCheck.Test.make ~name:"simplex solutions satisfy constraints" ~count:100
+    QCheck.(
+      triple
+        (array_of_size (Gen.return 3) (float_range 0.1 5.))
+        (list_of_size (Gen.int_range 1 4) (array_of_size (Gen.return 3) (float_range 0.1 5.)))
+        (list_of_size (Gen.int_range 1 4) (float_range 0.1 10.)))
+    (fun (c, rows, bs) ->
+      let k = min (List.length rows) (List.length bs) in
+      let rows = List.filteri (fun i _ -> i < k) rows and bs = List.filteri (fun i _ -> i < k) bs in
+      let constraints = List.map2 (fun r b -> (r, Simplex.Ge, b)) rows bs in
+      match Simplex.solve ~c constraints with
+      | Simplex.Optimal { solution; _ } ->
+          List.for_all2
+            (fun row b ->
+              let lhs = ref 0. in
+              Array.iteri (fun i a -> lhs := !lhs +. (a *. solution.(i))) row;
+              !lhs >= b -. 1e-6)
+            rows bs
+          && Array.for_all (fun x -> x >= -1e-9) solution
+      | Simplex.Infeasible | Simplex.Unbounded -> false)
+  |> QCheck_alcotest.to_alcotest
+
+let test_optimality_vs_grid_property () =
+  (* For 2-variable problems, compare against a brute-force grid search. *)
+  QCheck.Test.make ~name:"simplex beats grid search" ~count:50
+    QCheck.(pair (float_range 0.5 3.) (float_range 0.5 3.))
+    (fun (a, b) ->
+      (* min x + y st a x + y >= 2, x + b y >= 2. *)
+      let constraints =
+        [ ([| a; 1. |], Simplex.Ge, 2.); ([| 1.; b |], Simplex.Ge, 2.) ]
+      in
+      match Simplex.solve ~c:[| 1.; 1. |] constraints with
+      | Simplex.Optimal { objective; _ } ->
+          (* Grid-search a feasible upper bound; simplex must be <= it. *)
+          let best = ref Float.infinity in
+          for i = 0 to 100 do
+            for j = 0 to 100 do
+              let x = float_of_int i *. 0.05 and y = float_of_int j *. 0.05 in
+              if (a *. x) +. y >= 2. && x +. (b *. y) >= 2. then
+                if x +. y < !best then best := x +. y
+            done
+          done;
+          objective <= !best +. 1e-6
+      | _ -> false)
+  |> QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "max 2d" `Quick test_max_2d;
+    Alcotest.test_case "min with >=" `Quick test_min_with_ge;
+    Alcotest.test_case "equalities" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+    Alcotest.test_case "degenerate" `Quick test_degenerate;
+    test_solution_feasible_property ();
+    test_optimality_vs_grid_property ();
+  ]
+
+let test_strong_duality_property () =
+  (* Random primal: min c.x st A x >= b (all data positive, hence feasible
+     and bounded).  Its dual: max b.y st A^T y <= c, y >= 0.  Strong
+     duality: optimal objectives coincide — a sharp end-to-end check of the
+     solver. *)
+  QCheck.Test.make ~name:"strong duality on random primal/dual pairs" ~count:60
+    QCheck.(
+      triple
+        (array_of_size (Gen.return 3) (float_range 0.5 5.))
+        (array_of_size (Gen.return 2) (float_range 0.5 5.))
+        (array_of_size (Gen.return 6) (float_range 0.1 4.)))
+    (fun (c, b, flat) ->
+      (* A is 2x3 from flat. *)
+      let a = [| [| flat.(0); flat.(1); flat.(2) |]; [| flat.(3); flat.(4); flat.(5) |] |] in
+      let primal =
+        Simplex.solve ~c [ (a.(0), Simplex.Ge, b.(0)); (a.(1), Simplex.Ge, b.(1)) ]
+      in
+      let at = Array.init 3 (fun j -> Array.init 2 (fun i -> a.(i).(j))) in
+      let dual =
+        Simplex.solve ~maximize:true ~c:b
+          [ (at.(0), Simplex.Le, c.(0)); (at.(1), Simplex.Le, c.(1)); (at.(2), Simplex.Le, c.(2)) ]
+      in
+      match (primal, dual) with
+      | Simplex.Optimal { objective = p; _ }, Simplex.Optimal { objective = d; _ } ->
+          Float.abs (p -. d) <= 1e-6 *. Float.max 1. (Float.abs p)
+      | _ -> false)
+  |> QCheck_alcotest.to_alcotest
+
+let suite = suite @ [ test_strong_duality_property () ]

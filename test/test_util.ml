@@ -1,0 +1,42 @@
+(* Shared helpers for the test suite. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A tiny fixed instance: m machines, jobs given as (release, sizes). *)
+let instance ?(name = "fixture") ?(machines = 1) jobs =
+  let jobs =
+    List.mapi
+      (fun id (release, sizes) -> Sched_model.Job.create ~id ~release ~sizes ())
+      jobs
+  in
+  Sched_model.Instance.create ~name
+    ~machines:(Sched_model.Machine.fleet machines)
+    ~jobs ()
+
+let weighted_instance ?(name = "fixture") ?(machines = 1) ?(alpha = 3.) jobs =
+  let jobs =
+    List.mapi
+      (fun id (release, weight, sizes) ->
+        Sched_model.Job.create ~id ~release ~weight ~sizes ())
+      jobs
+  in
+  Sched_model.Instance.create ~name
+    ~machines:(Sched_model.Machine.fleet ~alpha machines)
+    ~jobs ()
+
+let deadline_instance ?(name = "fixture") ?(machines = 1) ?(alpha = 3.) jobs =
+  let jobs =
+    List.mapi
+      (fun id (release, deadline, sizes) ->
+        Sched_model.Job.create ~id ~release ~deadline ~sizes ())
+      jobs
+  in
+  Sched_model.Instance.create ~name
+    ~machines:(Sched_model.Machine.fleet ~alpha machines)
+    ~jobs ()
+
+let total_flow schedule =
+  (Sched_model.Metrics.flow schedule).Sched_model.Metrics.total_with_rejected

@@ -1,0 +1,235 @@
+open Sched_model
+open Sched_workload
+open Sched_stats
+
+let test_gen_determinism () =
+  let gen = Suite.flow_pareto ~n:40 ~m:3 in
+  let a = Gen.instance gen ~seed:9 and b = Gen.instance gen ~seed:9 in
+  Array.iter2
+    (fun (x : Job.t) (y : Job.t) ->
+      Alcotest.(check (float 0.)) "same release" x.Job.release y.Job.release;
+      Alcotest.(check (float 0.)) "same size" (Job.size x 0) (Job.size y 0))
+    (Instance.jobs_by_release a) (Instance.jobs_by_release b)
+
+let test_gen_seed_changes () =
+  let gen = Suite.flow_uniform ~n:40 ~m:2 in
+  let a = Gen.instance gen ~seed:1 and b = Gen.instance gen ~seed:2 in
+  let total inst =
+    Array.fold_left (fun acc (j : Job.t) -> acc +. Job.size j 0) 0. (Instance.jobs_by_release inst)
+  in
+  Alcotest.(check bool) "different totals" true (total a <> total b)
+
+let test_releases_sorted_nonneg () =
+  List.iter
+    (fun gen ->
+      let inst = Gen.instance gen ~seed:3 in
+      let jobs = Instance.jobs_by_release inst in
+      let prev = ref (-1.) in
+      Array.iter
+        (fun (j : Job.t) ->
+          Alcotest.(check bool) "nonneg" true (j.Job.release >= 0.);
+          Alcotest.(check bool) "sorted" true (j.Job.release >= !prev);
+          prev := j.Job.release)
+        jobs)
+    (Suite.all_flow ~n:50 ~m:3)
+
+let test_batched_arrivals () =
+  let gen =
+    Gen.make ~arrivals:(Gen.Batched { every = 5.; size = 4 }) ~n:12 ~m:1 ()
+  in
+  let inst = Gen.instance gen ~seed:1 in
+  let jobs = Instance.jobs_by_release inst in
+  Alcotest.(check (float 0.)) "first batch" 0. jobs.(0).Job.release;
+  Alcotest.(check (float 0.)) "second batch" 5. jobs.(4).Job.release;
+  Alcotest.(check (float 0.)) "third batch" 10. jobs.(8).Job.release
+
+let test_all_at_zero () =
+  let gen = Gen.make ~arrivals:Gen.All_at_zero ~n:10 ~m:1 () in
+  let inst = Gen.instance gen ~seed:1 in
+  Array.iter
+    (fun (j : Job.t) -> Alcotest.(check (float 0.)) "zero" 0. j.Job.release)
+    (Instance.jobs_by_release inst)
+
+let test_slot_laxity_alignment () =
+  let gen = Suite.deadline_energy ~n:40 ~m:2 ~alpha:3. in
+  let inst = Gen.instance gen ~seed:6 in
+  Array.iter
+    (fun (j : Job.t) ->
+      let d = Option.get j.Job.deadline in
+      Alcotest.(check bool) "integer release" true (Float.is_integer j.Job.release);
+      Alcotest.(check bool) "integer deadline" true (Float.is_integer d);
+      Alcotest.(check bool) "span fits min size" true
+        (d -. j.Job.release >= Float.ceil (Job.min_size j) -. 1e-9))
+    (Instance.jobs_by_release inst)
+
+let test_laxity_deadlines () =
+  let gen =
+    Gen.make ~deadlines:(Gen.Laxity (Dist.uniform ~lo:2. ~hi:4.)) ~n:30 ~m:2 ()
+  in
+  let inst = Gen.instance gen ~seed:2 in
+  Array.iter
+    (fun (j : Job.t) ->
+      let d = Option.get j.Job.deadline in
+      Alcotest.(check bool) "deadline after release + pmin" true
+        (d >= j.Job.release +. Job.min_size j -. 1e-9))
+    (Instance.jobs_by_release inst)
+
+let test_weights () =
+  let gen = Suite.weighted_energy ~n:30 ~m:2 ~alpha:3. in
+  let inst = Gen.instance gen ~seed:2 in
+  Array.iter
+    (fun (j : Job.t) -> Alcotest.(check bool) "weight >= 1" true (j.Job.weight >= 1.))
+    (Instance.jobs_by_release inst)
+
+(* --- shapes --- *)
+
+let rng () = Rng.create 77
+
+let test_shape_identical () =
+  let v = Shape.sizes Shape.identical (rng ()) ~base:3. ~m:4 in
+  Array.iter (fun p -> Alcotest.(check (float 0.)) "identical" 3. p) v
+
+let test_shape_related () =
+  let v = Shape.sizes (Shape.related ~speeds:[| 1.; 2. |]) (rng ()) ~base:4. ~m:2 in
+  Alcotest.(check (float 1e-12)) "slow machine" 4. v.(0);
+  Alcotest.(check (float 1e-12)) "fast machine" 2. v.(1)
+
+let test_shape_unrelated_spread () =
+  let shape = Shape.unrelated ~spread:2. in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let v = Shape.sizes shape r ~base:10. ~m:3 in
+    Array.iter (fun p -> Alcotest.(check bool) "within spread" true (p >= 5. && p <= 20.)) v
+  done
+
+let test_shape_restricted_always_eligible () =
+  let shape = Shape.restricted ~eligible_prob:0.2 in
+  let r = rng () in
+  for _ = 1 to 100 do
+    let v = Shape.sizes shape r ~base:1. ~m:5 in
+    Alcotest.(check bool) "one finite" true (Array.exists Float.is_finite v)
+  done
+
+let test_shape_clustered () =
+  let shape = Shape.clustered ~clusters:2 ~penalty:3. in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let v = Shape.sizes shape r ~base:2. ~m:4 in
+    Array.iter
+      (fun p -> Alcotest.(check bool) "base or penalized" true (p = 2. || p = 6.))
+      v;
+    Alcotest.(check bool) "some at base" true (Array.exists (fun p -> p = 2.) v)
+  done
+
+let test_instances_always_valid_property () =
+  QCheck.Test.make ~name:"generated instances are well-formed" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 0 5))
+    (fun (seed, which) ->
+      let gens = Suite.all_flow ~n:30 ~m:3 in
+      let gen = List.nth gens (which mod List.length gens) in
+      let inst = Gen.instance gen ~seed in
+      Instance.n inst = 30 && Instance.m inst = 3)
+  |> QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick test_gen_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_gen_seed_changes;
+    Alcotest.test_case "releases sorted and nonneg" `Quick test_releases_sorted_nonneg;
+    Alcotest.test_case "batched arrivals" `Quick test_batched_arrivals;
+    Alcotest.test_case "all at zero" `Quick test_all_at_zero;
+    Alcotest.test_case "slot laxity alignment" `Quick test_slot_laxity_alignment;
+    Alcotest.test_case "laxity deadlines" `Quick test_laxity_deadlines;
+    Alcotest.test_case "weights positive" `Quick test_weights;
+    Alcotest.test_case "shape identical" `Quick test_shape_identical;
+    Alcotest.test_case "shape related" `Quick test_shape_related;
+    Alcotest.test_case "shape unrelated spread" `Quick test_shape_unrelated_spread;
+    Alcotest.test_case "shape restricted eligibility" `Quick test_shape_restricted_always_eligible;
+    Alcotest.test_case "shape clustered" `Quick test_shape_clustered;
+    test_instances_always_valid_property ();
+  ]
+
+let test_diurnal_arrivals () =
+  let gen =
+    Gen.make ~arrivals:(Gen.Diurnal { base_rate = 1.; amplitude = 0.8; period = 50. })
+      ~n:200 ~m:1 ()
+  in
+  let inst = Gen.instance gen ~seed:4 in
+  let jobs = Instance.jobs_by_release inst in
+  Alcotest.(check int) "all generated" 200 (Array.length jobs);
+  let prev = ref (-1.) in
+  Array.iter
+    (fun (j : Job.t) ->
+      Alcotest.(check bool) "sorted" true (j.Job.release >= !prev);
+      prev := j.Job.release)
+    jobs;
+  (* Mean rate over full periods should be near base_rate. *)
+  let span = jobs.(199).Job.release in
+  let rate = 200. /. span in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.2f near 1.0" rate)
+    true
+    (rate > 0.6 && rate < 1.6)
+
+let test_diurnal_modulation () =
+  (* Arrival density in peak half-periods should exceed trough ones. *)
+  let gen =
+    Gen.make ~arrivals:(Gen.Diurnal { base_rate = 1.; amplitude = 1.0; period = 100. })
+      ~n:400 ~m:1 ()
+  in
+  let inst = Gen.instance gen ~seed:7 in
+  let peak = ref 0 and trough = ref 0 in
+  Array.iter
+    (fun (j : Job.t) ->
+      let phase = Float.rem j.Job.release 100. /. 100. in
+      if phase < 0.5 then incr peak else incr trough)
+    (Instance.jobs_by_release inst);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d > trough %d" !peak !trough)
+    true (!peak > !trough)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "diurnal arrivals" `Quick test_diurnal_arrivals;
+      Alcotest.test_case "diurnal modulation" `Quick test_diurnal_modulation;
+    ]
+
+let test_swf_parse_example () =
+  match Swf.parse ~m:2 Swf.example with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok inst ->
+      (* Job 5 has runtime -1 and is skipped: 8 usable of 9. *)
+      Alcotest.(check int) "usable jobs" 8 (Instance.n inst);
+      Alcotest.(check int) "machines" 2 (Instance.m inst);
+      let jobs = Instance.jobs_by_release inst in
+      Alcotest.(check (float 0.)) "rebased to 0" 0. jobs.(0).Job.release;
+      (* First job: runtime 120 x 4 procs / 2 machines = 240 base size. *)
+      Alcotest.(check (float 1e-9)) "demand preserved" 240. (Job.size jobs.(0) 0)
+
+let test_swf_max_jobs () =
+  match Swf.parse ~max_jobs:3 Swf.example with
+  | Ok inst -> Alcotest.(check int) "truncated" 3 (Instance.n inst)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_swf_malformed () =
+  Alcotest.(check bool) "bad line rejected" true
+    (match Swf.parse "1 zz 0 10 1" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "empty trace rejected" true
+    (match Swf.parse "; only comments\n" with Error _ -> true | Ok _ -> false)
+
+let test_swf_runs_end_to_end () =
+  match Swf.parse ~m:2 Swf.example with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok inst ->
+      let r = Rejection.Api.run_flow ~eps:0.25 inst in
+      Alcotest.(check bool) "positive flow" true (r.Rejection.Api.flow.Metrics.total > 0.)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "swf parse example" `Quick test_swf_parse_example;
+      Alcotest.test_case "swf max_jobs" `Quick test_swf_max_jobs;
+      Alcotest.test_case "swf malformed" `Quick test_swf_malformed;
+      Alcotest.test_case "swf end-to-end" `Quick test_swf_runs_end_to_end;
+    ]
