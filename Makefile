@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench quick-bench examples experiments clean
+.PHONY: all build test bench quick-bench bench-check examples experiments clean
 
 all: build
 
@@ -17,6 +17,14 @@ bench:
 # Fast smoke version of the same.
 quick-bench:
 	REJSCHED_QUICK=1 dune exec bench/main.exe
+
+# Regression gate: tier-1 tests plus the indexed-vs-scan performance
+# baseline.  Writes BENCH_pr1.json; fails if the driver-event
+# microbenchmark speedup drops below 2x or any test regresses.
+bench-check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- --regression BENCH_pr1.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,6 +8,13 @@
    Part 2 runs one Bechamel micro-benchmark per experiment's core
    computation, plus a simulator-throughput benchmark (E10).
 
+   Part 3 (selected with --regression) is the regression harness behind
+   `make bench-check`: it times the indexed driver fast path against the
+   scan-based seed references on an overloaded instance, records
+   end-to-end wall time and sequential-vs-parallel scaling, writes the
+   numbers to a JSON baseline (default BENCH_pr1.json) and exits non-zero
+   if the driver-event microbenchmark speedup falls below 2x.
+
    Run with: dune exec bench/main.exe
    (set REJSCHED_QUICK=1 for a fast smoke run) *)
 
@@ -139,6 +146,171 @@ let run_benchmarks () =
     (n *. 3. /. dt);
   ignore schedule
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: regression harness (--regression)                           *)
+
+let wall = Unix.gettimeofday
+
+let time_wall f =
+  let t0 = wall () in
+  let x = f () in
+  (x, wall () -. t0)
+
+let best_of reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, dt = time_wall f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* An overloaded burst instance: releases compressed into a short prefix so
+   per-machine pending queues grow to Theta(n/m) — the regime where the
+   indexed queues beat the seed's linear scans.  All values are dyadic
+   (multiples of 1/4) so incremental and scan-based float accumulations are
+   exact and the optimized/reference cross-check below can demand byte
+   equality, mirroring the differential tests. *)
+let burst_instance ~n ~m ~seed =
+  let rng = Sched_stats.Rng.create seed in
+  let quarters lo count = lo +. (0.25 *. float_of_int (Sched_stats.Rng.int rng count)) in
+  let machines = Sched_model.Machine.fleet m in
+  let jobs =
+    List.init n (fun id ->
+        let release = quarters 0. (max 1 (n / 8)) in
+        let weight = quarters 0.25 8 in
+        let sizes = Array.init m (fun _ -> quarters 0.5 15) in
+        Sched_model.Job.create ~id ~release ~weight ~sizes ())
+  in
+  Sched_model.Instance.create
+    ~name:(Printf.sprintf "burst-n%d-m%d-s%d" n m seed)
+    ~machines ~jobs ()
+
+(* One arrival per job plus a start and a finish per laid segment. *)
+let count_events (s : Sched_model.Schedule.t) =
+  Sched_model.Instance.n s.Sched_model.Schedule.instance
+  + (2 * List.length s.Sched_model.Schedule.segments)
+
+let run_regression out_path =
+  let module PR = Sched_experiments.Policy_registry in
+  let module SR = Sched_baselines.Seed_reference in
+  let module D = Sched_sim.Driver in
+  let buf = Buffer.create 2048 in
+  let reps = if quick then 1 else 3 in
+  Printf.printf "== Regression harness (quick=%b, reps=%d) ==\n%!" quick reps;
+
+  (* 3a: driver-event microbenchmark, indexed vs seed scans, n >= 10k. *)
+  let n = 10_000 and m = 8 in
+  let inst = burst_instance ~n ~m ~seed:7 in
+  let spt = Option.get (PR.find "greedy-spt") in
+  let s_opt = spt.PR.run inst in
+  let s_ref = D.run_schedule SR.greedy_spt inst in
+  if
+    Sched_model.Serialize.schedule_to_string s_opt
+    <> Sched_model.Serialize.schedule_to_string s_ref
+  then begin
+    prerr_endline "FAIL: optimized greedy-spt diverges from seed reference on burst instance";
+    exit 1
+  end;
+  let events = count_events s_opt in
+  let t_opt = best_of reps (fun () -> ignore (spt.PR.run inst)) in
+  let t_ref = best_of 1 (fun () -> ignore (D.run_schedule SR.greedy_spt inst)) in
+  let speedup = t_ref /. t_opt in
+  Printf.printf
+    "  driver events (greedy-spt, n=%d m=%d): indexed %.0f ev/s, seed scans %.0f ev/s, speedup %.1fx\n%!"
+    n m
+    (float_of_int events /. t_opt)
+    (float_of_int events /. t_ref)
+    speedup;
+
+  (* Secondary (non-gating): flow-reject, whose lambda pass is O(m k) on
+     both sides — the index only accelerates dispatch/select/accounting. *)
+  let fr = Option.get (PR.find "flow-reject") in
+  let fr_inst = burst_instance ~n:(if quick then 3_000 else 10_000) ~m ~seed:11 in
+  let t_fr_opt = best_of 1 (fun () -> ignore (fr.PR.run fr_inst)) in
+  let t_fr_ref =
+    best_of 1 (fun () ->
+        ignore (D.run_schedule (SR.flow_reject (Rejection.Flow_reject.config ~eps:PR.eps ())) fr_inst))
+  in
+  Printf.printf "  flow-reject (n=%d): indexed %.3f s, seed scans %.3f s, speedup %.1fx\n%!"
+    (Sched_model.Instance.n fr_inst) t_fr_opt t_fr_ref (t_fr_ref /. t_fr_opt);
+
+  (* 3b: end-to-end wall time on the E10-style throughput workload. *)
+  let e2e_inst = make_flow_instance (if quick then 20_000 else 50_000) 16 3 in
+  let module FR = Rejection.Flow_reject in
+  let (_ : Sched_model.Schedule.t * FR.state), t_e2e =
+    time_wall (fun () -> FR.run (FR.config ~eps:0.25 ()) e2e_inst)
+  in
+  let e2e_n = Sched_model.Instance.n e2e_inst in
+  Printf.printf "  end-to-end flow-reject: %d jobs on 16 machines in %.3f s (%.0f jobs/s)\n%!"
+    e2e_n t_e2e
+    (float_of_int e2e_n /. t_e2e);
+
+  (* 3c: sequential vs Stats.Parallel over a batch of instances. *)
+  let batch =
+    Array.init 8 (fun k -> burst_instance ~n:(if quick then 800 else 2_000) ~m:4 ~seed:(100 + k))
+  in
+  let par_times =
+    List.map
+      (fun domains ->
+        let dt =
+          best_of 1 (fun () ->
+              ignore (Sched_stats.Parallel.map_array ~domains (fun i -> fr.PR.run i) batch))
+        in
+        Printf.printf "  parallel batch (8 runs): domains=%d -> %.3f s\n%!" domains dt;
+        (domains, dt))
+      [ 1; 2; 4 ]
+  in
+
+  (* JSON baseline. *)
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"pr\": \"pr1\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" quick;
+  Printf.bprintf buf "  \"driver_event_microbench\": {\n";
+  Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
+  Printf.bprintf buf "    \"n\": %d,\n    \"m\": %d,\n    \"events\": %d,\n" n m events;
+  Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_opt;
+  Printf.bprintf buf "    \"seed_scan_seconds\": %.6f,\n" t_ref;
+  Printf.bprintf buf "    \"indexed_events_per_sec\": %.1f,\n" (float_of_int events /. t_opt);
+  Printf.bprintf buf "    \"seed_scan_events_per_sec\": %.1f,\n" (float_of_int events /. t_ref);
+  Printf.bprintf buf "    \"speedup\": %.3f\n  },\n" speedup;
+  Printf.bprintf buf "  \"flow_reject_microbench\": {\n";
+  Printf.bprintf buf "    \"n\": %d,\n" (Sched_model.Instance.n fr_inst);
+  Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_fr_opt;
+  Printf.bprintf buf "    \"seed_scan_seconds\": %.6f,\n" t_fr_ref;
+  Printf.bprintf buf "    \"speedup\": %.3f\n  },\n" (t_fr_ref /. t_fr_opt);
+  Printf.bprintf buf "  \"end_to_end\": {\n";
+  Printf.bprintf buf "    \"policy\": \"flow-reject\",\n";
+  Printf.bprintf buf "    \"n\": %d,\n    \"m\": 16,\n" e2e_n;
+  Printf.bprintf buf "    \"wall_seconds\": %.6f,\n" t_e2e;
+  Printf.bprintf buf "    \"jobs_per_sec\": %.1f\n  },\n" (float_of_int e2e_n /. t_e2e);
+  Printf.bprintf buf "  \"parallel_batch\": {\n";
+  Printf.bprintf buf "    \"runs\": 8,\n";
+  List.iteri
+    (fun k (domains, dt) ->
+      Printf.bprintf buf "    \"domains_%d_seconds\": %.6f%s\n" domains dt
+        (if k = List.length par_times - 1 then "" else ","))
+    par_times;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out out_path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out_path;
+  if speedup < 2.0 then begin
+    Printf.eprintf "FAIL: driver-event speedup %.2fx is below the 2x gate\n%!" speedup;
+    exit 1
+  end;
+  Printf.printf "  PASS: driver-event speedup %.1fx >= 2x gate\n%!" speedup
+
 let () =
-  run_experiments ();
-  run_benchmarks ()
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--regression" argv then
+    let out =
+      match List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv) with
+      | [ path ] -> path
+      | _ -> "BENCH_pr1.json"
+    in
+    run_regression out
+  else begin
+    run_experiments ();
+    run_benchmarks ()
+  end

@@ -2,12 +2,11 @@ open Sched_model
 open Sched_sim
 
 let estimated_completion view i (j : Job.t) =
-  let pending_work =
-    List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
-  in
-  Driver.remaining_time view i +. pending_work +. Job.size j i
+  Driver.remaining_time view i +. Driver.pending_work view i +. Job.size j i
 
-let make name pick =
+(* [head] picks the next job to serve: one of the driver's O(1) indexed
+   head accessors, replacing the seed's linear pending scan. *)
+let make name head =
   let init _ = () in
   let on_arrival () view (j : Job.t) =
     (* [view] lacks the instance; recover machine count from the job. *)
@@ -25,25 +24,11 @@ let make name pick =
     Driver.dispatch target
   in
   let select () view i =
-    match Driver.pending view i with
-    | [] -> None
-    | first :: rest ->
-        let chosen = List.fold_left (fun acc l -> if pick i l acc then l else acc) first rest in
-        Some { Driver.job = chosen.Job.id; speed = 1.0 }
+    match head view i with
+    | None -> None
+    | Some (chosen : Job.t) -> Some { Driver.job = chosen.Job.id; speed = 1.0 }
   in
   { Driver.name; init; on_arrival; select }
 
-let fifo =
-  let earlier _ (a : Job.t) (b : Job.t) =
-    if a.release <> b.release then a.release < b.release else a.id < b.id
-  in
-  make "greedy-fifo" earlier
-
-let spt =
-  let shorter i (a : Job.t) (b : Job.t) =
-    let pa = Job.size a i and pb = Job.size b i in
-    if pa <> pb then pa < pb
-    else if a.release <> b.release then a.release < b.release
-    else a.id < b.id
-  in
-  make "greedy-spt" shorter
+let fifo = make "greedy-fifo" Driver.pending_earliest
+let spt = make "greedy-spt" Driver.pending_shortest

@@ -23,10 +23,7 @@ let policy ~eps heuristic =
     let best = ref None in
     for i = 0 to m - 1 do
       if Job.eligible j i then begin
-        let pending_work =
-          List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
-        in
-        let c = Driver.remaining_time view i +. pending_work +. Job.size j i in
+        let c = Driver.remaining_time view i +. Driver.pending_work view i +. Job.size j i in
         match !best with
         | Some (_, c') when c' <= c -> ()
         | _ -> best := Some (i, c)
@@ -43,22 +40,13 @@ let policy ~eps heuristic =
       | Never -> false
       | Largest_over factor ->
           let pij = Job.size j target in
-          let pending = Driver.pending view target in
-          let count = List.length pending in
+          let count = Driver.pending_count view target in
           count > 0
           &&
-          let avg =
-            List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l target) 0. pending
-            /. float_of_int count
-          in
+          let avg = Driver.pending_work view target /. float_of_int count in
           pij > factor *. avg
       | Load_threshold factor ->
-          let backlog =
-            Driver.remaining_time view target
-            +. List.fold_left
-                 (fun acc (l : Job.t) -> acc +. Job.size l target)
-                 0. (Driver.pending view target)
-          in
+          let backlog = Driver.remaining_time view target +. Driver.pending_work view target in
           backlog > factor *. Job.size j target
     in
     if reject_now then begin
@@ -68,16 +56,8 @@ let policy ~eps heuristic =
     else Driver.dispatch target
   in
   let select () view i =
-    match Driver.pending view i with
-    | [] -> None
-    | first :: rest ->
-        let shorter (a : Job.t) (b : Job.t) =
-          let pa = Job.size a i and pb = Job.size b i in
-          if pa <> pb then pa < pb
-          else if a.release <> b.release then a.release < b.release
-          else a.id < b.id
-        in
-        let chosen = List.fold_left (fun acc l -> if shorter l acc then l else acc) first rest in
-        Some { Driver.job = chosen.Job.id; speed = 1.0 }
+    match Driver.pending_shortest view i with
+    | None -> None
+    | Some chosen -> Some { Driver.job = chosen.Job.id; speed = 1.0 }
   in
   { Driver.name = name_of heuristic; init; on_arrival; select }

@@ -15,12 +15,6 @@ type state = {
   mutable total_restarts : int;
 }
 
-let spt_precede i (a : Job.t) (b : Job.t) =
-  let pa = Job.size a i and pb = Job.size b i in
-  if pa <> pb then pa < pb
-  else if a.release <> b.release then a.release < b.release
-  else a.id < b.id
-
 let init cfg instance =
   { cfg; instance; restarted = Array.make (Instance.n instance) 0; total_restarts = 0 }
 
@@ -29,10 +23,7 @@ let on_arrival st view (j : Job.t) =
   let best = ref None in
   for i = 0 to Instance.m st.instance - 1 do
     if Job.eligible j i then begin
-      let pending_work =
-        List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
-      in
-      let c = Driver.remaining_time view i +. pending_work +. Job.size j i in
+      let c = Driver.remaining_time view i +. Driver.pending_work view i +. Job.size j i in
       match !best with
       | Some (_, c') when c' <= c -> ()
       | _ -> best := Some (i, c)
@@ -57,13 +48,9 @@ let on_arrival st view (j : Job.t) =
   { Driver.dispatch_to = target; reject = []; restart }
 
 let select _st view i =
-  match Driver.pending view i with
-  | [] -> None
-  | first :: rest ->
-      let shortest =
-        List.fold_left (fun acc l -> if spt_precede i l acc then l else acc) first rest
-      in
-      Some { Driver.job = shortest.Job.id; speed = 1.0 }
+  match Driver.pending_shortest view i with
+  | None -> None
+  | Some shortest -> Some { Driver.job = shortest.Job.id; speed = 1.0 }
 
 let policy cfg = { Driver.name = "restart-spt"; init = init cfg; on_arrival; select }
 

@@ -1,0 +1,32 @@
+(** Scan-based reference implementations of every shipped policy.
+
+    These mirror the pre-index ("seed") policy code: each decision is
+    re-derived by a linear scan of {!Sched_sim.Driver.pending}, with the
+    same fold orders and float operations as the originals.  They are the
+    ground truth the differential tests compare the optimized policies
+    against — on the same instance, optimized and reference runs must
+    produce identical schedules.
+
+    They are intentionally slow; nothing outside the test/bench layers
+    should use them. *)
+
+open Sched_sim
+
+type fr_state
+
+val flow_reject : Rejection.Flow_reject.config -> fr_state Driver.policy
+
+type frw_state
+
+val flow_reject_weighted : Rejection.Flow_reject_weighted.config -> frw_state Driver.policy
+
+type fer_state
+
+val flow_energy_reject : Rejection.Flow_energy_reject.config -> fer_state Driver.policy
+val greedy_fifo : unit Driver.policy
+val greedy_spt : unit Driver.policy
+val immediate_reject : eps:float -> Immediate_reject.heuristic -> unit Driver.policy
+
+type rs_state
+
+val restart_spt : Restart_spt.config -> rs_state Driver.policy

@@ -97,12 +97,11 @@ let on_arrival st view (j : Job.t) =
   { Driver.dispatch_to = target; reject = !rejections; restart = [] }
 
 let select st view i =
-  match Driver.pending view i with
-  | [] -> None
-  | first :: rest as pending ->
-      let head = List.fold_left (fun acc l -> if precede i l acc then l else acc) first rest in
+  match Driver.pending_densest view i with
+  | None -> None
+  | Some head ->
       let alpha = (Instance.machine st.instance i).Machine.alpha in
-      let total_weight = List.fold_left (fun acc (l : Job.t) -> acc +. l.Job.weight) 0. pending in
+      let total_weight = Driver.pending_weight view i in
       let speed = st.gammas.(i) *. (total_weight ** (1. /. alpha)) in
       st.v.(head.Job.id) <- 0.;
       Some { Driver.job = head.Job.id; speed }

@@ -37,20 +37,17 @@ let precede i (a : Job.t) (b : Job.t) =
 
 (* lambda_ij = (1/eps) p_ij + sum_{l <= j} p_il + sum_{l > j} p_ij, where l
    ranges over the pending set of machine i plus j itself ("l <= j" includes
-   l = j, contributing p_ij).  [pending] does not yet contain j. *)
-let lambda_ij eps i (j : Job.t) pending =
+   l = j, contributing p_ij).  The pending set does not yet contain j; one
+   allocation-free pass suffices, no sort. *)
+let lambda_ij eps view i (j : Job.t) =
   let pij = Job.size j i in
   let before = ref 0. and after = ref 0 in
-  List.iter
-    (fun (l : Job.t) -> if precede i l j then before := !before +. Job.size l i else incr after)
-    pending;
+  Driver.pending_iter view i (fun (l : Job.t) ->
+      if precede i l j then before := !before +. Job.size l i else incr after);
   (pij /. eps) +. !before +. pij +. (float_of_int !after *. pij)
 
 let greedy_load_cost view i (j : Job.t) =
-  let pending_work =
-    List.fold_left (fun acc (l : Job.t) -> acc +. Job.size l i) 0. (Driver.pending view i)
-  in
-  Driver.remaining_time view i +. pending_work +. Job.size j i
+  Driver.remaining_time view i +. Driver.pending_work view i +. Job.size j i
 
 (* Argmin over eligible machines; deterministic tie-break on machine id. *)
 let argmin_machine instance (j : Job.t) cost =
@@ -65,10 +62,13 @@ let argmin_machine instance (j : Job.t) cost =
   done;
   match !best with Some ic -> ic | None -> assert false
 
-let largest_pending i (j_new : Job.t) pending =
+let largest_pending view i (j_new : Job.t) =
   (* Largest-processing-time job among the pending set (the just-dispatched
-     job included); "largest" uses the same total order as [precede]. *)
-  List.fold_left (fun worst (l : Job.t) -> if precede i worst l then l else worst) j_new pending
+     job included); "largest" uses the same total order as [precede].  The
+     reverse-SPT index hands over the pending maximum in O(1). *)
+  match Driver.pending_longest view i with
+  | None -> j_new
+  | Some w -> if precede i j_new w then w else j_new
 
 let init cfg instance =
   let n = Instance.n instance in
@@ -90,13 +90,12 @@ let on_arrival st view (j : Job.t) =
   let eps = st.eps_eff in
   let target, best_lambda =
     match st.cfg.dispatch with
-    | Dual_lambda ->
-        argmin_machine st.instance j (fun i -> lambda_ij eps i j (Driver.pending view i))
+    | Dual_lambda -> argmin_machine st.instance j (fun i -> lambda_ij eps view i j)
     | Greedy_load ->
         let i, _ = argmin_machine st.instance j (fun i -> greedy_load_cost view i j) in
         (* The dual variable is defined from lambda_ij regardless of how we
            dispatched, so the instrumentation stays meaningful in E8. *)
-        (i, snd (argmin_machine st.instance j (fun i -> lambda_ij eps i j (Driver.pending view i))))
+        (i, snd (argmin_machine st.instance j (fun i -> lambda_ij eps view i j)))
   in
   st.lambda.(j.id) <- eps /. (1. +. eps) *. best_lambda;
   (* Rejection Rule 1: bump the running job's counter. *)
@@ -113,7 +112,7 @@ let on_arrival st view (j : Job.t) =
   | None -> ());
   (* Rejection Rule 2: machine-level counter. *)
   if st.cfg.rule2 && st.c.(target) >= st.thr2 then begin
-    let victim = largest_pending target j (Driver.pending view target) in
+    let victim = largest_pending view target j in
     rejections := victim.Job.id :: !rejections;
     st.c.(target) <- 0;
     st.rej2 <- st.rej2 + 1
@@ -121,12 +120,9 @@ let on_arrival st view (j : Job.t) =
   { Driver.dispatch_to = target; reject = List.rev !rejections; restart = [] }
 
 let select st view i =
-  match Driver.pending view i with
-  | [] -> None
-  | first :: rest ->
-      let shortest =
-        List.fold_left (fun acc l -> if precede i l acc then l else acc) first rest
-      in
+  match Driver.pending_shortest view i with
+  | None -> None
+  | Some shortest ->
       (* A fresh Rule 1 counter for the execution that is about to begin. *)
       st.v.(shortest.Job.id) <- 0;
       Some { Driver.job = shortest.Job.id; speed = 1.0 }

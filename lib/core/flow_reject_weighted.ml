@@ -24,21 +24,23 @@ let precede i (a : Job.t) (b : Job.t) =
   else if a.release <> b.release then a.release < b.release
   else a.id < b.id
 
-(* Largest processing time among pending (for Rule 2w's victim). *)
-let largest_pending i (j_new : Job.t) pending =
+(* Largest processing time among pending plus the just-dispatched job (for
+   Rule 2w's victim): [p_ij] descending, ties by larger id — exactly the
+   order of the driver's [pending_longest_tie_id] index. *)
+let largest_pending view i (j_new : Job.t) =
   let bigger (a : Job.t) (b : Job.t) =
     let pa = Job.size a i and pb = Job.size b i in
     if pa <> pb then pa > pb else a.id > b.id
   in
-  List.fold_left (fun worst l -> if bigger l worst then l else worst) j_new pending
+  match Driver.pending_longest_tie_id view i with
+  | None -> j_new
+  | Some w -> if bigger w j_new then w else j_new
 
-let lambda_ij eps i (j : Job.t) pending =
+let lambda_ij eps view i (j : Job.t) =
   let pij = Job.size j i in
   let before = ref 0. and after_w = ref 0. in
-  List.iter
-    (fun (l : Job.t) ->
-      if precede i l j then before := !before +. Job.size l i else after_w := !after_w +. l.weight)
-    pending;
+  Driver.pending_iter view i (fun (l : Job.t) ->
+      if precede i l j then before := !before +. Job.size l i else after_w := !after_w +. l.weight);
   (j.weight *. ((pij /. eps) +. !before +. pij)) +. (!after_w *. pij)
 
 let argmin_machine instance (j : Job.t) cost =
@@ -65,9 +67,7 @@ let init cfg instance =
 
 let on_arrival st view (j : Job.t) =
   let eps = st.cfg.eps in
-  let target =
-    argmin_machine st.instance j (fun i -> lambda_ij eps i j (Driver.pending view i))
-  in
+  let target = argmin_machine st.instance j (fun i -> lambda_ij eps view i j) in
   st.c.(target) <- st.c.(target) +. j.weight;
   let rejections = ref [] in
   (match Driver.running_on view target with
@@ -80,7 +80,7 @@ let on_arrival st view (j : Job.t) =
       end
   | None -> ());
   if st.cfg.rule2 then begin
-    let victim = largest_pending target j (Driver.pending view target) in
+    let victim = largest_pending view target j in
     if st.c.(target) >= (1. +. (1. /. eps)) *. victim.Job.weight then begin
       rejections := victim.Job.id :: !rejections;
       st.c.(target) <- 0.;
@@ -90,10 +90,9 @@ let on_arrival st view (j : Job.t) =
   { Driver.dispatch_to = target; reject = List.rev !rejections; restart = [] }
 
 let select st view i =
-  match Driver.pending view i with
-  | [] -> None
-  | first :: rest ->
-      let head = List.fold_left (fun acc l -> if precede i l acc then l else acc) first rest in
+  match Driver.pending_densest view i with
+  | None -> None
+  | Some head ->
       st.v.(head.Job.id) <- 0.;
       Some { Driver.job = head.Job.id; speed = 1.0 }
 

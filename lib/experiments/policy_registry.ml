@@ -1,0 +1,91 @@
+open Sched_model
+open Sched_sim
+module FR = Rejection.Flow_reject
+module FRW = Rejection.Flow_reject_weighted
+module FER = Rejection.Flow_energy_reject
+module B = Sched_baselines
+
+type entry = {
+  name : string;
+  allow_restarts : bool;
+  run : Instance.t -> Schedule.t;
+  run_live : Instance.t -> Schedule.t * Driver.live_metrics;
+  reference : (Instance.t -> Schedule.t) option;
+}
+
+let pack ?reference ?(allow_restarts = false) make_policy name =
+  {
+    name;
+    allow_restarts;
+    run = (fun instance -> Driver.run_schedule (make_policy ()) instance);
+    run_live =
+      (fun instance ->
+        let s, _, live = Driver.run_live (make_policy ()) instance in
+        (s, live));
+    reference =
+      Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;
+  }
+
+(* A fixed eps for registry/differential purposes; the experiments sweep
+   their own values. *)
+let eps = 0.3
+
+let all =
+  [
+    pack
+      (fun () -> FR.policy (FR.config ~eps ()))
+      ~reference:(fun () -> B.Seed_reference.flow_reject (FR.config ~eps ()))
+      "flow-reject";
+    pack
+      (fun () ->
+        FR.policy (FR.config ~dispatch:FR.Greedy_load ~eps ()))
+      ~reference:(fun () ->
+        B.Seed_reference.flow_reject (FR.config ~dispatch:FR.Greedy_load ~eps ()))
+      "flow-reject-greedy";
+    pack
+      (fun () -> FRW.policy (FRW.config ~eps ()))
+      ~reference:(fun () ->
+        B.Seed_reference.flow_reject_weighted (FRW.config ~eps ()))
+      "flow-reject-weighted";
+    pack
+      (fun () -> FER.policy (FER.config ~eps ()))
+      ~reference:(fun () ->
+        B.Seed_reference.flow_energy_reject (FER.config ~eps ()))
+      "flow-energy-reject";
+    pack
+      (fun () -> B.Greedy_dispatch.fifo)
+      ~reference:(fun () -> B.Seed_reference.greedy_fifo)
+      "greedy-fifo";
+    pack
+      (fun () -> B.Greedy_dispatch.spt)
+      ~reference:(fun () -> B.Seed_reference.greedy_spt)
+      "greedy-spt";
+    pack
+      (fun () -> B.Immediate_reject.policy ~eps B.Immediate_reject.Never)
+      ~reference:(fun () ->
+        B.Seed_reference.immediate_reject ~eps B.Immediate_reject.Never)
+      "immediate-never";
+    pack
+      (fun () ->
+        B.Immediate_reject.policy ~eps
+          (B.Immediate_reject.Largest_over 2.))
+      ~reference:(fun () ->
+        B.Seed_reference.immediate_reject ~eps
+          (B.Immediate_reject.Largest_over 2.))
+      "immediate-largest";
+    pack
+      (fun () ->
+        B.Immediate_reject.policy ~eps
+          (B.Immediate_reject.Load_threshold 3.))
+      ~reference:(fun () ->
+        B.Seed_reference.immediate_reject ~eps
+          (B.Immediate_reject.Load_threshold 3.))
+      "immediate-load";
+    pack
+      (fun () -> B.Restart_spt.policy (B.Restart_spt.config ()))
+      ~reference:(fun () ->
+        B.Seed_reference.restart_spt (B.Restart_spt.config ()))
+      ~allow_restarts:true "restart-spt";
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

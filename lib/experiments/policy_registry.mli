@@ -1,0 +1,29 @@
+(** The policy registry: every shipped scheduling policy packaged as a
+    plain [Instance.t -> Schedule.t] runner, with its validation mode and —
+    where one exists — its scan-based seed-reference mirror.
+
+    The registry powers the cross-cutting test layers: the validator suite
+    runs every entry over a shared workload set, and the differential suite
+    checks each optimized entry against its [reference]. *)
+
+open Sched_model
+open Sched_sim
+
+type entry = {
+  name : string;
+  allow_restarts : bool;
+      (** Whether schedules need the validator's [allow_restarts]
+          relaxation (the policy kills and re-runs jobs). *)
+  run : Instance.t -> Schedule.t;
+  run_live : Instance.t -> Schedule.t * Driver.live_metrics;
+      (** [run] also returning the driver's incremental metrics. *)
+  reference : (Instance.t -> Schedule.t) option;
+      (** The {!Sched_baselines.Seed_reference} mirror: same decisions via
+          linear scans; must produce the identical schedule. *)
+}
+
+val eps : float
+(** The rejection parameter every registry entry is instantiated with. *)
+
+val all : entry list
+val find : string -> entry option

@@ -165,3 +165,38 @@ let segments_to_csv (s : Schedule.t) =
            outcome))
     s.Schedule.segments;
   Buffer.contents buf
+
+let schedule_to_string (s : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "rejsched-schedule v1\n";
+  Buffer.add_string buf ("instance " ^ s.Schedule.instance.Instance.name ^ "\n");
+  let n = Array.length s.Schedule.outcomes in
+  Buffer.add_string buf (Printf.sprintf "outcomes %d\n" n);
+  Array.iteri
+    (fun id outcome ->
+      match outcome with
+      | Outcome.Completed c ->
+          Buffer.add_string buf
+            (Printf.sprintf "outcome %d completed %d %s %s %s\n" id c.Outcome.machine
+               (float_to_string c.Outcome.start)
+               (float_to_string c.Outcome.speed)
+               (float_to_string c.Outcome.finish))
+      | Outcome.Rejected r ->
+          let assigned =
+            match r.Outcome.assigned_to with None -> "-" | Some i -> string_of_int i
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "outcome %d rejected %s %s %b\n" id
+               (float_to_string r.Outcome.time)
+               assigned r.Outcome.was_running))
+    s.Schedule.outcomes;
+  Buffer.add_string buf (Printf.sprintf "segments %d\n" (List.length s.Schedule.segments));
+  List.iter
+    (fun (g : Schedule.segment) ->
+      Buffer.add_string buf
+        (Printf.sprintf "segment %d %d %s %s %s\n" g.Schedule.job g.Schedule.machine
+           (float_to_string g.Schedule.start)
+           (float_to_string g.Schedule.stop)
+           (float_to_string g.Schedule.speed)))
+    s.Schedule.segments;
+  Buffer.contents buf

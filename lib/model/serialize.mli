@@ -26,3 +26,9 @@ val load_instance : path:string -> (Instance.t, string) result
 val segments_to_csv : Schedule.t -> string
 (** One row per execution segment ([job,machine,start,stop,speed,outcome]),
     suitable for external plotting. *)
+
+val schedule_to_string : Schedule.t -> string
+(** Full textual dump of a run's result — every outcome (job-id order) and
+    every segment (layout order) with round-tripping float formatting.  Two
+    runs are observationally identical iff their dumps are byte-identical,
+    which is what the determinism/replay tests compare. *)

@@ -2,11 +2,132 @@ open Sched_model
 
 type running = { job : Job.t; started : Time.t; rate : float; finish : Time.t }
 
+(* ------------------------------------------------------------------ *)
+(* Indexed pending sets.
+
+   Every ordering a policy may query is maintained as a Pqueue.Indexed
+   heap over the machine's pending jobs, so insert, arbitrary removal
+   (rejection) and head queries are all O(log k) instead of the seed's
+   O(k) list scans.  Aggregate pending work/weight are carried
+   incrementally for O(1) reads.  The float comparisons deliberately
+   mirror the policies' original [<]/[>] comparisons (so e.g. -0. = 0.),
+   and key ties fall through to the heap's id tie-break, reproducing the
+   "ties by smaller id" convention of every policy order. *)
+
+type pend = {
+  by_spt : (Job.t, unit) Pqueue.Indexed.t;  (** (p_ij, release, id) ascending. *)
+  by_spt_rev : (Job.t, unit) Pqueue.Indexed.t;  (** Same order, descending. *)
+  by_density : (Job.t, unit) Pqueue.Indexed.t;
+      (** weight/p_ij descending, ties release then id ascending. *)
+  by_size_id : (Job.t, unit) Pqueue.Indexed.t;
+      (** (p_ij, id) descending — the weighted Rule 2 victim order. *)
+  by_fifo : (Job.t, unit) Pqueue.Indexed.t;  (** (release, id) ascending. *)
+  mutable p_work : float;  (** Sum of p_ij over pending jobs. *)
+  mutable p_weight : float;  (** Sum of weights over pending jobs. *)
+}
+
+let cmp_spt i (a : Job.t) (b : Job.t) =
+  let pa = Job.size a i and pb = Job.size b i in
+  if pa < pb then -1
+  else if pa > pb then 1
+  else if a.release < b.release then -1
+  else if a.release > b.release then 1
+  else 0
+
+(* Reverse of [cmp_spt] including the id: the Rule 2 victim is the *max*
+   of (p_ij, release, id), so equal (p, release) resolve to the larger id —
+   the explicit flip keeps the heap's ascending-id fallback unreachable. *)
+let cmp_spt_rev i (a : Job.t) (b : Job.t) =
+  let c = cmp_spt i a b in
+  if c <> 0 then -c else Int.compare b.id a.id
+
+let cmp_density i (a : Job.t) (b : Job.t) =
+  let da = a.weight /. Job.size a i and db = b.weight /. Job.size b i in
+  if da > db then -1
+  else if da < db then 1
+  else if a.release < b.release then -1
+  else if a.release > b.release then 1
+  else 0
+
+(* Descending size; equal sizes fall through to the heap's ascending-id
+   tie-break, so min_elt is the largest size with the *smallest* id — the
+   weighted rule wants the largest id, hence the explicit flip here. *)
+let cmp_size_id i (a : Job.t) (b : Job.t) =
+  let pa = Job.size a i and pb = Job.size b i in
+  if pa > pb then -1 else if pa < pb then 1 else Int.compare b.id a.id
+
+let cmp_fifo (a : Job.t) (b : Job.t) =
+  if a.release < b.release then -1 else if a.release > b.release then 1 else 0
+
+let pend_create i =
+  {
+    by_spt = Pqueue.Indexed.create ~cmp:(cmp_spt i) ();
+    by_spt_rev = Pqueue.Indexed.create ~cmp:(cmp_spt_rev i) ();
+    by_density = Pqueue.Indexed.create ~cmp:(cmp_density i) ();
+    by_size_id = Pqueue.Indexed.create ~cmp:(cmp_size_id i) ();
+    by_fifo = Pqueue.Indexed.create ~cmp:cmp_fifo ();
+    p_work = 0.;
+    p_weight = 0.;
+  }
+
+let pend_add p i (j : Job.t) =
+  Pqueue.Indexed.add p.by_spt ~id:j.id ~key:j ();
+  Pqueue.Indexed.add p.by_spt_rev ~id:j.id ~key:j ();
+  Pqueue.Indexed.add p.by_density ~id:j.id ~key:j ();
+  Pqueue.Indexed.add p.by_size_id ~id:j.id ~key:j ();
+  Pqueue.Indexed.add p.by_fifo ~id:j.id ~key:j ();
+  p.p_work <- p.p_work +. Job.size j i;
+  p.p_weight <- p.p_weight +. j.weight
+
+let pend_remove p i id =
+  match Pqueue.Indexed.remove p.by_spt ~id with
+  | None -> None
+  | Some (j, ()) ->
+      ignore (Pqueue.Indexed.remove p.by_spt_rev ~id);
+      ignore (Pqueue.Indexed.remove p.by_density ~id);
+      ignore (Pqueue.Indexed.remove p.by_size_id ~id);
+      ignore (Pqueue.Indexed.remove p.by_fifo ~id);
+      if Pqueue.Indexed.is_empty p.by_spt then begin
+        (* Pin the aggregates back to exactly zero so float cancellation
+           drift cannot survive an empty queue. *)
+        p.p_work <- 0.;
+        p.p_weight <- 0.
+      end
+      else begin
+        p.p_work <- p.p_work -. Job.size j i;
+        p.p_weight <- p.p_weight -. j.weight
+      end;
+      Some j
+
+let pend_count p = Pqueue.Indexed.size p.by_spt
+
 type machine_state = {
   mutable m_running : running option;
   mutable m_epoch : int;  (** Invalidates stale finish events after a mid-run
                               rejection. *)
-  mutable m_pending : Job.t list;
+  m_pend : pend;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Incremental metrics: maintained as outcomes and segments are laid down,
+   so no post-hoc pass over the schedule is needed to read the run's
+   objective values.  Float accumulation order differs from the post-hoc
+   [Metrics] passes, so agreement is exact up to rounding (the
+   differential tests pin it at 1e-9 relative). *)
+
+type accum = {
+  mutable a_completed : int;
+  mutable a_flow : float;
+  mutable a_wflow : float;
+  mutable a_rej_flow : float;
+  mutable a_rej_wflow : float;
+  mutable a_max_flow : float;
+  mutable a_max_stretch : float;
+  mutable a_energy : float;
+  mutable a_makespan : float;
+  mutable a_rejected : int;
+  mutable a_rej_weight : float;
+  mutable a_mid_run : int;
 }
 
 type location = Unreleased | Pending of Machine.id | Running of Machine.id | Settled
@@ -18,6 +139,8 @@ type state = {
   mutable clock : Time.t;
   builder : Schedule.builder;
   trace : Trace.t option;
+  acc : accum;
+  total_weight : float;
 }
 
 type view = state
@@ -33,8 +156,57 @@ let remaining_volume (v : view) i =
 let remaining_time (v : view) i =
   match v.machines.(i).m_running with None -> 0. | Some r -> Float.max 0. (r.finish -. v.clock)
 
-let pending (v : view) i = v.machines.(i).m_pending
-let pending_count (v : view) i = List.length v.machines.(i).m_pending
+let pending (v : view) i =
+  List.rev
+    (Pqueue.Indexed.fold v.machines.(i).m_pend.by_spt ~init:[] ~f:(fun acc _ j () -> j :: acc))
+
+let pending_iter (v : view) i f =
+  Pqueue.Indexed.iter v.machines.(i).m_pend.by_spt ~f:(fun _ j () -> f j)
+
+let pending_count (v : view) i = pend_count v.machines.(i).m_pend
+let pending_work (v : view) i = v.machines.(i).m_pend.p_work
+let pending_weight (v : view) i = v.machines.(i).m_pend.p_weight
+
+let head q = match Pqueue.Indexed.min_elt q with None -> None | Some (_, j, ()) -> Some j
+
+let pending_shortest (v : view) i = head v.machines.(i).m_pend.by_spt
+let pending_longest (v : view) i = head v.machines.(i).m_pend.by_spt_rev
+let pending_densest (v : view) i = head v.machines.(i).m_pend.by_density
+let pending_longest_tie_id (v : view) i = head v.machines.(i).m_pend.by_size_id
+let pending_earliest (v : view) i = head v.machines.(i).m_pend.by_fifo
+
+type live_metrics = {
+  flow : Metrics.flow;
+  energy : float;
+  rejection : Metrics.rejection;
+  makespan : Time.t;
+}
+
+let live (v : view) =
+  let a = v.acc in
+  let n = Instance.n v.instance in
+  {
+    flow =
+      {
+        Metrics.total = a.a_flow;
+        weighted = a.a_wflow;
+        total_with_rejected = a.a_flow +. a.a_rej_flow;
+        weighted_with_rejected = a.a_wflow +. a.a_rej_wflow;
+        max_flow = a.a_max_flow;
+        mean_flow = (if a.a_completed = 0 then 0. else a.a_flow /. float_of_int a.a_completed);
+        max_stretch = a.a_max_stretch;
+      };
+    energy = a.a_energy;
+    rejection =
+      {
+        Metrics.count = a.a_rejected;
+        fraction = (if n = 0 then 0. else float_of_int a.a_rejected /. float_of_int n);
+        weight = a.a_rej_weight;
+        weight_fraction = (if v.total_weight = 0. then 0. else a.a_rej_weight /. v.total_weight);
+        mid_run = a.a_mid_run;
+      };
+    makespan = a.a_makespan;
+  }
 
 type decision = { dispatch_to : Machine.id; reject : Job.id list; restart : Job.id list }
 
@@ -59,23 +231,47 @@ let tag_arrival seq = (1 lsl 40) + seq
 
 let record st ev = match st.trace with None -> () | Some tr -> Trace.record tr st.clock ev
 
-let remove_pending ms id =
-  let found = ref false in
-  let rest = List.filter (fun (j : Job.t) -> if j.id = id then (found := true; false) else true) ms.m_pending in
-  if not !found then invalid_arg (Printf.sprintf "Driver: job %d not pending" id);
-  ms.m_pending <- rest
+(* Lay down a segment and fold it into the incremental metrics. *)
+let lay_segment st (seg : Schedule.segment) =
+  Schedule.add_segment st.builder seg;
+  let alpha = (Instance.machine st.instance seg.machine).Machine.alpha in
+  st.acc.a_energy <- st.acc.a_energy +. ((seg.stop -. seg.start) *. (seg.speed ** alpha));
+  if seg.stop > st.acc.a_makespan then st.acc.a_makespan <- seg.stop
+
+let account_completion st (j : Job.t) finish =
+  let a = st.acc in
+  let f = finish -. j.release in
+  a.a_completed <- a.a_completed + 1;
+  a.a_flow <- a.a_flow +. f;
+  a.a_wflow <- a.a_wflow +. (j.weight *. f);
+  if f > a.a_max_flow then a.a_max_flow <- f;
+  let stretch = f /. Job.min_size j in
+  if stretch > a.a_max_stretch then a.a_max_stretch <- stretch
+
+let account_rejection st (j : Job.t) time ~was_running =
+  let a = st.acc in
+  let f = time -. j.release in
+  a.a_rejected <- a.a_rejected + 1;
+  a.a_rej_flow <- a.a_rej_flow +. f;
+  a.a_rej_wflow <- a.a_rej_wflow +. (j.weight *. f);
+  a.a_rej_weight <- a.a_rej_weight +. j.weight;
+  if was_running then a.a_mid_run <- a.a_mid_run + 1
+
+let remove_pending st i id =
+  match pend_remove st.machines.(i).m_pend i id with
+  | Some j -> j
+  | None -> invalid_arg (Printf.sprintf "Driver: job %d not pending" id)
 
 let reject_job st id =
   let t = st.clock in
   match st.loc.(id) with
   | Pending i ->
-      let ms = st.machines.(i) in
-      remove_pending ms id;
+      let j = remove_pending st i id in
       st.loc.(id) <- Settled;
-      let j = Instance.job st.instance id in
       record st (Trace.Reject { job = id; machine = i; was_running = false; remaining = Job.size j i });
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running = false });
+      account_rejection st j t ~was_running:false;
       i
   | Running i ->
       let ms = st.machines.(i) in
@@ -86,12 +282,13 @@ let reject_job st id =
       st.loc.(id) <- Settled;
       let was_running = Time.gt t r.started in
       if was_running then
-        Schedule.add_segment st.builder
+        lay_segment st
           { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
       let remaining = Float.max 0. ((r.finish -. t) *. r.rate) in
       record st (Trace.Reject { job = id; machine = i; was_running; remaining });
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running });
+      account_rejection st r.job t ~was_running;
       i
   | Unreleased -> invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id)
   | Settled -> invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id)
@@ -108,11 +305,11 @@ let restart_job st id =
       ms.m_running <- None;
       ms.m_epoch <- ms.m_epoch + 1;
       if Time.gt t r.started then
-        Schedule.add_segment st.builder
+        lay_segment st
           { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
       let wasted = Float.max 0. ((t -. r.started) *. r.rate) in
       record st (Trace.Restart { job = id; machine = i; wasted });
-      ms.m_pending <- r.job :: ms.m_pending;
+      pend_add ms.m_pend i r.job;
       st.loc.(id) <- Pending i;
       i
   | Pending _ | Unreleased | Settled ->
@@ -123,17 +320,16 @@ let try_start st queue seq policy pstate i =
   match ms.m_running with
   | Some _ -> ()
   | None ->
-      if ms.m_pending <> [] then begin
+      if pend_count ms.m_pend > 0 then begin
         match policy.select pstate st i with
         | None -> ()
         | Some { job; speed } ->
             if speed <= 0. || not (Float.is_finite speed) then
               invalid_arg (Printf.sprintf "Driver: policy %s chose speed %g" policy.name speed);
-            let j = Instance.job st.instance job in
             (match st.loc.(job) with
             | Pending i' when i' = i -> ()
             | _ -> invalid_arg (Printf.sprintf "Driver: job %d is not pending on machine %d" job i));
-            remove_pending ms job;
+            let j = remove_pending st i job in
             let machine = Instance.machine st.instance i in
             let rate = speed *. machine.Machine.speed in
             let size = Job.size j i in
@@ -147,16 +343,33 @@ let try_start st queue seq policy pstate i =
             Pqueue.push queue ~key:finish ~tag:(tag_finish !seq) (Finish (i, ms.m_epoch))
       end
 
-let run ?trace policy instance =
+let run_state ?trace policy instance =
   let m = Instance.m instance in
   let st =
     {
       instance;
-      machines = Array.init m (fun _ -> { m_running = None; m_epoch = 0; m_pending = [] });
+      machines =
+        Array.init m (fun i -> { m_running = None; m_epoch = 0; m_pend = pend_create i });
       loc = Array.make (Instance.n instance) Unreleased;
       clock = 0.;
       builder = Schedule.builder instance;
       trace;
+      acc =
+        {
+          a_completed = 0;
+          a_flow = 0.;
+          a_wflow = 0.;
+          a_rej_flow = 0.;
+          a_rej_wflow = 0.;
+          a_max_flow = 0.;
+          a_max_stretch = 0.;
+          a_energy = 0.;
+          a_makespan = 0.;
+          a_rejected = 0;
+          a_rej_weight = 0.;
+          a_mid_run = 0;
+        };
+      total_weight = Instance.total_weight instance;
     }
   in
   let pstate = policy.init instance in
@@ -179,10 +392,11 @@ let run ?trace policy instance =
             | Some r when ms.m_epoch = epoch ->
                 let id = r.job.Job.id in
                 ms.m_running <- None;
-                Schedule.add_segment st.builder
+                lay_segment st
                   { Schedule.job = id; machine = i; start = r.started; stop = r.finish; speed = r.rate };
                 Schedule.set_outcome st.builder id
                   (Outcome.Completed { machine = i; start = r.started; speed = r.rate; finish = r.finish });
+                account_completion st r.job r.finish;
                 st.loc.(id) <- Settled;
                 record st (Trace.Complete { job = id; machine = i });
                 try_start st queue seq policy pstate i
@@ -196,7 +410,7 @@ let run ?trace policy instance =
               invalid_arg
                 (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
                    policy.name j.id i);
-            st.machines.(i).m_pending <- j :: st.machines.(i).m_pending;
+            pend_add st.machines.(i).m_pend i j;
             st.loc.(j.id) <- Pending i;
             record st (Trace.Dispatch { job = j.id; machine = i });
             let touched = List.map (reject_job st) decision.reject in
@@ -209,10 +423,18 @@ let run ?trace policy instance =
      [None] from [select]; then those jobs never finish.  Surface it. *)
   Array.iteri
     (fun i ms ->
-      if ms.m_pending <> [] || ms.m_running <> None then
+      if pend_count ms.m_pend > 0 || ms.m_running <> None then
         invalid_arg
           (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i))
     st.machines;
-  (Schedule.finalize st.builder, pstate)
+  (Schedule.finalize st.builder, pstate, st)
+
+let run ?trace policy instance =
+  let schedule, pstate, _ = run_state ?trace policy instance in
+  (schedule, pstate)
+
+let run_live ?trace policy instance =
+  let schedule, pstate, st = run_state ?trace policy instance in
+  (schedule, pstate, live st)
 
 let run_schedule ?trace policy instance = fst (run ?trace policy instance)

@@ -11,9 +11,21 @@
       idle ({!field-select}).
 
     Jobs are revealed to the policy only at their release times; the policy
-    can inspect the driver state through a read-only {!view}.  Every run
-    yields a {!Sched_model.Schedule.t} that the schedule validator accepts,
-    so all policies are measured on equal terms. *)
+    can inspect the driver state through a read-only {!view}.  Every run of a
+    well-formed policy yields a {!Sched_model.Schedule.t}; runs that do not
+    reject mid-run or restart satisfy the strict schedule validator, while
+    restart/mid-run-rejection runs need its [allow_restarts] relaxation
+    (partial segments of a job may precede its final run) — the registry test
+    suite checks exactly this for every shipped policy, so all policies are
+    measured on equal terms.
+
+    {b Performance.}  Per-machine pending sets are indexed heaps
+    ({!Sched_sim.Pqueue.Indexed}), one per ordering the paper's policies
+    query (SPT, weighted density, size-for-victim-selection, FIFO), so
+    dispatch, start and arbitrary-id rejection are all O(log k) in the queue
+    length; aggregate pending work/weight are maintained incrementally and
+    read in O(1).  Policies should use the [pending_*] accessors below
+    rather than scanning {!pending}. *)
 
 open Sched_model
 
@@ -37,9 +49,64 @@ val remaining_time : view -> Machine.id -> float
 (** Time until the running job would finish; [0.] when idle. *)
 
 val pending : view -> Machine.id -> Job.t list
-(** Jobs dispatched to the machine, released, not started (unordered). *)
+(** Jobs dispatched to the machine, released, not started.  The order is
+    deterministic for a given run history but otherwise unspecified; do not
+    rely on it.  O(k) — prefer the indexed accessors below in hot paths. *)
+
+val pending_iter : view -> Machine.id -> (Job.t -> unit) -> unit
+(** Iterates the pending set without materializing a list (same
+    deterministic-but-unspecified order as {!pending}). *)
 
 val pending_count : view -> Machine.id -> int
+(** O(1). *)
+
+val pending_work : view -> Machine.id -> float
+(** Sum of [p_ij] over jobs pending on machine [i]; O(1), maintained
+    incrementally (exactly [0.] when the queue is empty). *)
+
+val pending_weight : view -> Machine.id -> float
+(** Sum of weights over jobs pending on machine [i]; O(1). *)
+
+(** The head-of-order accessors below are O(1) reads of indexed heaps; all
+    ties not listed break by smaller job id, making each answer independent
+    of arrival/removal history. *)
+
+val pending_shortest : view -> Machine.id -> Job.t option
+(** Smallest [(p_ij, release)] — the SPT order of Theorem 1's policy. *)
+
+val pending_longest : view -> Machine.id -> Job.t option
+(** Largest [(p_ij, release, id)] (so ties resolve to the {e larger} id) —
+    the Rule 2 victim of the unweighted policy. *)
+
+val pending_densest : view -> Machine.id -> Job.t option
+(** Largest weighted density [w_j / p_ij] (ties: earlier release first) —
+    the highest-density-first order of the weighted and energy policies. *)
+
+val pending_longest_tie_id : view -> Machine.id -> Job.t option
+(** Largest [p_ij], ties by {e larger} id — the victim order of the
+    weighted policy's rejection rule. *)
+
+val pending_earliest : view -> Machine.id -> Job.t option
+(** Smallest [(release, id)] — FIFO order. *)
+
+(** {1 Incremental metrics} *)
+
+type live_metrics = {
+  flow : Metrics.flow;
+  energy : float;
+  rejection : Metrics.rejection;
+  makespan : Time.t;
+}
+(** Objective values maintained incrementally as segments are laid down and
+    outcomes recorded — no post-hoc pass over the schedule.  Agrees with the
+    corresponding {!Sched_model.Metrics} recomputation up to float rounding
+    (the accumulation order differs); the differential tests pin the
+    agreement at 1e-9 relative error. *)
+
+val live : view -> live_metrics
+(** Snapshot of the incremental metrics at the current instant.  Counts only
+    what has happened so far: jobs still pending or running contribute
+    nothing yet. *)
 
 (** {1 Policy interface} *)
 
@@ -82,6 +149,9 @@ val run : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t * 'a
     an unknown job, starting a non-pending job, non-positive speed).  The
     returned ['a] is the policy's final state, which instrumented policies
     use to expose analysis data (e.g. the dual variables of Lemma 4). *)
+
+val run_live : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t * 'a * live_metrics
+(** [run] additionally returning the final incremental-metrics snapshot. *)
 
 val run_schedule : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t
 (** [run] dropping the policy state. *)

@@ -71,3 +71,146 @@ let peek t = if t.len = 0 then None else Some (t.data.(0).key, t.data.(0).tag, t
 let clear t =
   t.data <- [||];
   t.len <- 0
+
+(* ------------------------------------------------------------------ *)
+
+module Indexed = struct
+  type ('k, 'v) entry = { ikey : 'k; id : int; value : 'v }
+
+  type ('k, 'v) t = {
+    icmp : 'k -> 'k -> int;
+    mutable idata : ('k, 'v) entry array;
+    mutable ilen : int;
+    mutable pos : int array;  (* id -> heap slot, -1 when absent *)
+  }
+
+  let create ~cmp () = { icmp = cmp; idata = [||]; ilen = 0; pos = [||] }
+  let size t = t.ilen
+  let is_empty t = t.ilen = 0
+  let mem t ~id = id >= 0 && id < Array.length t.pos && t.pos.(id) >= 0
+
+  (* Ids are unique, so breaking key ties on the id keeps the order total:
+     the heap's answers never depend on the history of inserts/removals. *)
+  let less t a b =
+    let c = t.icmp a.ikey b.ikey in
+    if c <> 0 then c < 0 else a.id < b.id
+
+  let set t slot entry =
+    t.idata.(slot) <- entry;
+    t.pos.(entry.id) <- slot
+
+  let rec sift_up t slot =
+    if slot > 0 then begin
+      let parent = (slot - 1) / 2 in
+      if less t t.idata.(slot) t.idata.(parent) then begin
+        let a = t.idata.(slot) and b = t.idata.(parent) in
+        set t slot b;
+        set t parent a;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t slot =
+    let l = (2 * slot) + 1 and r = (2 * slot) + 2 in
+    let smallest = ref slot in
+    if l < t.ilen && less t t.idata.(l) t.idata.(!smallest) then smallest := l;
+    if r < t.ilen && less t t.idata.(r) t.idata.(!smallest) then smallest := r;
+    if !smallest <> slot then begin
+      let a = t.idata.(slot) and b = t.idata.(!smallest) in
+      set t slot b;
+      set t !smallest a;
+      sift_down t !smallest
+    end
+
+  let ensure_pos t id =
+    let len = Array.length t.pos in
+    if id >= len then begin
+      let nlen = max 16 (max (id + 1) (2 * len)) in
+      let npos = Array.make nlen (-1) in
+      Array.blit t.pos 0 npos 0 len;
+      t.pos <- npos
+    end
+
+  let add t ~id ~key value =
+    if id < 0 then invalid_arg "Pqueue.Indexed.add: negative id";
+    ensure_pos t id;
+    if t.pos.(id) >= 0 then
+      invalid_arg (Printf.sprintf "Pqueue.Indexed.add: id %d already present" id);
+    let entry = { ikey = key; id; value } in
+    let cap = Array.length t.idata in
+    if t.ilen = cap then begin
+      let ndata = Array.make (max 16 (2 * cap)) entry in
+      Array.blit t.idata 0 ndata 0 t.ilen;
+      t.idata <- ndata
+    end;
+    t.idata.(t.ilen) <- entry;
+    t.pos.(id) <- t.ilen;
+    t.ilen <- t.ilen + 1;
+    sift_up t (t.ilen - 1)
+
+  let remove t ~id =
+    if not (mem t ~id) then None
+    else begin
+      let slot = t.pos.(id) in
+      let removed = t.idata.(slot) in
+      t.pos.(id) <- -1;
+      t.ilen <- t.ilen - 1;
+      if slot < t.ilen then begin
+        set t slot t.idata.(t.ilen);
+        (* The moved entry may violate the invariant in either direction;
+           exactly one of the two sifts does work. *)
+        sift_up t slot;
+        sift_down t slot
+      end;
+      Some (removed.ikey, removed.value)
+    end
+
+  let min_elt t =
+    if t.ilen = 0 then None
+    else
+      let e = t.idata.(0) in
+      Some (e.id, e.ikey, e.value)
+
+  let pop_min t =
+    match min_elt t with
+    | None -> None
+    | Some (id, _, _) as top ->
+        ignore (remove t ~id);
+        top
+
+  let iter t ~f =
+    for slot = 0 to t.ilen - 1 do
+      let e = t.idata.(slot) in
+      f e.id e.ikey e.value
+    done
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    for slot = 0 to t.ilen - 1 do
+      let e = t.idata.(slot) in
+      acc := f !acc e.id e.ikey e.value
+    done;
+    !acc
+
+  let to_list t = List.rev (fold t ~init:[] ~f:(fun acc id k v -> (id, k, v) :: acc))
+
+  let clear t =
+    t.idata <- [||];
+    t.ilen <- 0;
+    t.pos <- [||]
+
+  let invariant t =
+    let ok = ref (t.ilen >= 0 && t.ilen <= Array.length t.idata) in
+    for slot = 1 to t.ilen - 1 do
+      let parent = (slot - 1) / 2 in
+      if less t t.idata.(slot) t.idata.(parent) then ok := false
+    done;
+    for slot = 0 to t.ilen - 1 do
+      let e = t.idata.(slot) in
+      if e.id < 0 || e.id >= Array.length t.pos || t.pos.(e.id) <> slot then ok := false
+    done;
+    let registered = ref 0 in
+    Array.iter (fun p -> if p >= 0 then incr registered) t.pos;
+    if !registered <> t.ilen then ok := false;
+    !ok
+end

@@ -19,3 +19,47 @@ val pop : 'a t -> (float * int * 'a) option
 val peek : 'a t -> (float * int * 'a) option
 
 val clear : 'a t -> unit
+
+(** Indexed min-heap: a binary heap that additionally tracks the heap slot
+    of every element by a caller-supplied non-negative integer id (job ids
+    in the simulator), giving O(log n) removal of {e arbitrary} elements —
+    the operation mid-run rejection needs — on top of the usual O(log n)
+    insert/extract-min.
+
+    The comparison is supplied at creation time; key ties are broken by the
+    id, so the heap realizes a {e total} order and its answers are
+    independent of the insertion/removal history.  Ids must be unique while
+    present; the position table grows to the largest id seen (dense ids,
+    as job ids are, cost O(max id) words). *)
+module Indexed : sig
+  type ('k, 'v) t
+
+  val create : cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+  val size : ('k, 'v) t -> int
+  val is_empty : ('k, 'v) t -> bool
+  val mem : ('k, 'v) t -> id:int -> bool
+
+  val add : ('k, 'v) t -> id:int -> key:'k -> 'v -> unit
+  (** Raises [Invalid_argument] if [id] is negative or already present. *)
+
+  val remove : ('k, 'v) t -> id:int -> ('k * 'v) option
+  (** Removes the element with the given id in O(log n); [None] when
+      absent. *)
+
+  val min_elt : ('k, 'v) t -> (int * 'k * 'v) option
+  (** Smallest element under [(cmp, id)], without removing it. *)
+
+  val pop_min : ('k, 'v) t -> (int * 'k * 'v) option
+
+  val iter : ('k, 'v) t -> f:(int -> 'k -> 'v -> unit) -> unit
+  (** Iterates in heap-array order: deterministic for a given operation
+      history, but {e not} sorted. *)
+
+  val fold : ('k, 'v) t -> init:'a -> f:('a -> int -> 'k -> 'v -> 'a) -> 'a
+  val to_list : ('k, 'v) t -> (int * 'k * 'v) list
+  val clear : ('k, 'v) t -> unit
+
+  val invariant : ('k, 'v) t -> bool
+  (** Structural check (heap property + position-table consistency), for
+      tests. *)
+end

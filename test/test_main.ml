@@ -9,6 +9,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("pqueue", Test_pqueue.suite);
       ("driver", Test_driver.suite);
+      ("parallel", Test_parallel.suite);
       ("flow-reject", Test_flow_reject.suite);
       ("flow-energy", Test_flow_energy.suite);
       ("energy-config", Test_energy_config.suite);
@@ -27,4 +28,7 @@ let () =
       ("pp", Test_pp.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
+      ("policy-registry", Test_policy_registry.suite);
+      ("differential", Test_differential.suite);
+      ("replay", Test_replay.suite);
     ]

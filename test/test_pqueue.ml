@@ -71,6 +71,131 @@ let test_interleaved_push_pop () =
   (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "then 5" 5 v | None -> Alcotest.fail "x");
   (match Pqueue.pop q with Some (_, _, v) -> Alcotest.(check int) "then 10" 10 v | None -> Alcotest.fail "x")
 
+
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue.Indexed: the indexed heap behind the driver's pending sets. *)
+
+module I = Pqueue.Indexed
+
+(* Model: draining pop_min must equal the (key, id)-sorted input. *)
+let test_indexed_sorted_model () =
+  let prop (keys : int list) =
+    let keys = Array.of_list keys in
+    let q = I.create ~cmp:compare () in
+    Array.iteri (fun id k -> I.add q ~id ~key:k id) keys;
+    I.invariant q
+    &&
+    let rec drain acc =
+      match I.pop_min q with
+      | None -> List.rev acc
+      | Some (id, k, _) -> drain ((k, id) :: acc)
+    in
+    let popped = drain [] in
+    let expected =
+      Array.to_list (Array.mapi (fun id k -> (k, id)) keys) |> List.sort compare
+    in
+    popped = expected
+  in
+  QCheck.Test.make ~name:"indexed pops in sorted (key, id) order" ~count:300
+    QCheck.(list small_int)
+    prop
+  |> QCheck_alcotest.to_alcotest
+
+(* Removing an arbitrary subset of ids (the rejection path) preserves the
+   invariant and leaves exactly the survivors, still in order. *)
+let test_indexed_arbitrary_removal () =
+  let prop (entries : (int * bool) list) =
+    let entries = Array.of_list entries in
+    let q = I.create ~cmp:compare () in
+    Array.iteri (fun id (k, _) -> I.add q ~id ~key:k id) entries;
+    let ok = ref true in
+    Array.iteri
+      (fun id (k, remove) ->
+        if remove then begin
+          (match I.remove q ~id with
+          | Some (k', v) -> if k' <> k || v <> id then ok := false
+          | None -> ok := false);
+          if not (I.invariant q) then ok := false;
+          if I.mem q ~id then ok := false;
+          if I.remove q ~id <> None then ok := false
+        end)
+      entries;
+    !ok
+    &&
+    let rec drain acc =
+      match I.pop_min q with
+      | None -> List.rev acc
+      | Some (id, k, _) -> drain ((k, id) :: acc)
+    in
+    let survivors =
+      Array.to_list entries
+      |> List.mapi (fun id (k, remove) -> (k, id, remove))
+      |> List.filter_map (fun (k, id, remove) -> if remove then None else Some (k, id))
+      |> List.sort compare
+    in
+    drain [] = survivors
+  in
+  QCheck.Test.make ~name:"indexed removal of arbitrary ids preserves invariant" ~count:300
+    QCheck.(list (pair small_int bool))
+    prop
+  |> QCheck_alcotest.to_alcotest
+
+(* Mixed op sequences keep the structural invariant at every step. *)
+let test_indexed_op_sequence_invariant () =
+  let prop (ops : (int * int) list) =
+    let q = I.create ~cmp:compare () in
+    let next_id = ref 0 in
+    let live = Hashtbl.create 16 in
+    List.for_all
+      (fun (which, k) ->
+        (match which mod 3 with
+        | 0 | 1 ->
+            let id = !next_id in
+            incr next_id;
+            I.add q ~id ~key:k ();
+            Hashtbl.replace live id ()
+        | _ -> (
+            match I.pop_min q with
+            | Some (id, _, ()) -> Hashtbl.remove live id
+            | None -> ()));
+        I.invariant q && I.size q = Hashtbl.length live)
+      ops
+  in
+  QCheck.Test.make ~name:"indexed invariant holds under mixed op sequences" ~count:300
+    QCheck.(list (pair small_int small_int))
+    prop
+  |> QCheck_alcotest.to_alcotest
+
+let test_indexed_duplicate_id_rejected () =
+  let q = I.create ~cmp:compare () in
+  I.add q ~id:3 ~key:1 ();
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Pqueue.Indexed.add: id 3 already present") (fun () ->
+      I.add q ~id:3 ~key:2 ());
+  Alcotest.check_raises "negative id" (Invalid_argument "Pqueue.Indexed.add: negative id")
+    (fun () -> I.add q ~id:(-1) ~key:2 ())
+
+let test_indexed_min_elt_and_iter () =
+  let q = I.create ~cmp:compare () in
+  Alcotest.(check bool) "empty min" true (I.min_elt q = None);
+  List.iter (fun (id, k) -> I.add q ~id ~key:k (10 * id)) [ (0, 5); (1, 2); (2, 9); (3, 2) ];
+  (match I.min_elt q with
+  | Some (id, k, v) ->
+      (* Equal keys 2 at ids 1 and 3: the id breaks the tie. *)
+      Alcotest.(check int) "min id" 1 id;
+      Alcotest.(check int) "min key" 2 k;
+      Alcotest.(check int) "min value" 10 v
+  | None -> Alcotest.fail "min_elt");
+  Alcotest.(check int) "size" 4 (I.size q);
+  let seen = ref 0 in
+  I.iter q ~f:(fun _ _ _ -> incr seen);
+  Alcotest.(check int) "iter visits all" 4 !seen;
+  Alcotest.(check int) "fold counts" 4 (I.fold q ~init:0 ~f:(fun acc _ _ _ -> acc + 1));
+  Alcotest.(check int) "to_list length" 4 (List.length (I.to_list q));
+  I.clear q;
+  Alcotest.(check bool) "cleared" true (I.is_empty q && I.invariant q)
+
 let suite =
   [
     Alcotest.test_case "basic order" `Quick test_basic_order;
@@ -79,4 +204,9 @@ let suite =
     Alcotest.test_case "clear" `Quick test_clear;
     test_heap_property_random ();
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    test_indexed_sorted_model ();
+    test_indexed_arbitrary_removal ();
+    test_indexed_op_sequence_invariant ();
+    Alcotest.test_case "indexed id validation" `Quick test_indexed_duplicate_id_rejected;
+    Alcotest.test_case "indexed min/iter/clear" `Quick test_indexed_min_elt_and_iter;
   ]

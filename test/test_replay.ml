@@ -1,0 +1,62 @@
+(* Determinism and replay: the same seed must reproduce the same instance
+   and the same run, byte for byte, and running through
+   [Sched_stats.Parallel] must be observationally identical to running
+   sequentially. *)
+
+open Sched_model
+module PR = Sched_experiments.Policy_registry
+
+let dump e inst = Serialize.schedule_to_string (e.PR.run inst)
+
+let test_same_seed_same_instance () =
+  List.iter
+    (fun seed ->
+      let a = Test_util.random_instance ~weighted:true ~seed ~n:30 ~m:3 () in
+      let b = Test_util.random_instance ~weighted:true ~seed ~n:30 ~m:3 () in
+      Alcotest.(check string)
+        (Printf.sprintf "instance seed %d" seed)
+        (Serialize.instance_to_string a) (Serialize.instance_to_string b);
+      let g = Sched_workload.Suite.flow_uniform ~n:25 ~m:3 in
+      Alcotest.(check string)
+        (Printf.sprintf "generated instance seed %d" seed)
+        (Serialize.instance_to_string (Sched_workload.Gen.instance g ~seed))
+        (Serialize.instance_to_string (Sched_workload.Gen.instance g ~seed)))
+    [ 1; 7; 42 ]
+
+let test_rerun_byte_identical () =
+  let insts =
+    [
+      Test_util.random_instance ~seed:5 ~n:25 ~m:3 ();
+      Test_util.random_instance ~weighted:true ~restricted:true ~seed:6 ~n:25 ~m:3 ();
+    ]
+  in
+  List.iter
+    (fun (e : PR.entry) ->
+      List.iter
+        (fun inst ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s replay on %s" e.name inst.Instance.name)
+            (dump e inst) (dump e inst))
+        insts)
+    PR.all
+
+let test_parallel_equals_sequential_runs () =
+  let insts =
+    Array.init 8 (fun k ->
+        Test_util.random_instance ~weighted:(k mod 2 = 0) ~seed:(500 + k) ~n:30 ~m:3 ())
+  in
+  let e = Option.get (PR.find "flow-reject") in
+  let sequential = Array.map (dump e) insts in
+  let parallel = Sched_stats.Parallel.map_array ~domains:4 (dump e) insts in
+  Array.iteri
+    (fun k s ->
+      Alcotest.(check string) (Printf.sprintf "instance %d" k) s parallel.(k))
+    sequential
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same instance" `Quick test_same_seed_same_instance;
+    Alcotest.test_case "rerun byte-identical (all policies)" `Quick test_rerun_byte_identical;
+    Alcotest.test_case "parallel == sequential schedules" `Quick
+      test_parallel_equals_sequential_runs;
+  ]

@@ -40,3 +40,39 @@ let deadline_instance ?(name = "fixture") ?(machines = 1) ?(alpha = 3.) jobs =
 
 let total_flow schedule =
   (Sched_model.Metrics.flow schedule).Sched_model.Metrics.total_with_rejected
+
+(* Random instances with dyadic numerics: releases, sizes and weights are
+   multiples of 1/4 (and machine speeds powers of two), so every sum or
+   difference the simulator computes is exact in float arithmetic.  Two
+   implementations that make the same decisions therefore produce
+   byte-identical schedules — which is what the differential and replay
+   suites assert. *)
+let random_instance ?(weighted = false) ?(restricted = false) ?(alpha = 3.) ~seed ~n ~m () =
+  let rng = Sched_stats.Rng.create seed in
+  let quarters lo hi =
+    (* A multiple of 1/4 in [lo, hi], both ends included. *)
+    let steps = ((hi - lo) * 4) + 1 in
+    (float_of_int lo +. (float_of_int (Sched_stats.Rng.int rng steps) /. 4.) : float)
+  in
+  let machines =
+    Array.init m (fun id ->
+        let speed = [| 0.5; 1.; 1.; 2. |].(Sched_stats.Rng.int rng 4) in
+        Sched_model.Machine.create ~id ~speed ~alpha ())
+  in
+  let jobs =
+    List.init n (fun id ->
+        let sizes =
+          Array.init m (fun _ ->
+              if restricted && Sched_stats.Rng.float rng < 0.3 then Float.infinity
+              else 0.25 +. quarters 0 8)
+        in
+        (* Keep at least one machine eligible. *)
+        if not (Array.exists Float.is_finite sizes) then
+          sizes.(Sched_stats.Rng.int rng m) <- 0.25 +. quarters 0 8;
+        let release = quarters 0 (max 1 (n / 2)) in
+        let weight = if weighted then 0.25 +. quarters 0 4 else 1. in
+        Sched_model.Job.create ~id ~release ~weight ~sizes ())
+  in
+  Sched_model.Instance.create
+    ~name:(Printf.sprintf "diff-n%d-m%d-s%d" n m seed)
+    ~machines ~jobs ()
