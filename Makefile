@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench quick-bench bench-check examples experiments clean
+.PHONY: all build test lint bench quick-bench bench-check examples experiments clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# Static determinism checks (rejlint) over lib/ bin/ bench/ test/.
+# Exits nonzero on any error-severity finding.  See DESIGN.md.
+lint:
+	dune build @lint
 
 # Full experiment tables + Bechamel micro-benchmarks (a few minutes).
 bench:

@@ -1,0 +1,3 @@
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  exit (Rejlint_lib.Driver.run ~out:print_string args)

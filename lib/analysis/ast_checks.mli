@@ -1,0 +1,12 @@
+(** The parsetree rule pass (RJL001–RJL005).
+
+    Purely syntactic — rejlint parses unpreprocessed sources, so the
+    checks are conservative approximations chosen so that a clean report
+    is meaningful: named comparator functions are trusted, lambdas must
+    show their tie-break, and the banned-identifier lists are exact
+    paths (with [Stdlib.] prefixes normalized away). *)
+
+val check : scope:Scope.t -> file:string -> Parsetree.structure -> Finding.t list
+(** Run RJL001–RJL005 over one parsed implementation.  Which rules fire
+    depends on [scope]; suppression comments are applied by the caller
+    (see {!Lint}). *)

@@ -1,0 +1,105 @@
+(* The CLI logic lives in the library (and takes its output channel as a
+   callback) so the test suite can exercise exit codes and report output
+   without spawning a process — and so the linter can lint itself: no
+   console I/O happens in lib/. *)
+
+let usage =
+  "usage: rejlint [--json] [--root DIR] [--scope SCOPE] [--rules] [PATH ...]\n\
+   \n\
+   Lints .ml/.mli sources for determinism and hygiene (see --rules).\n\
+   PATH defaults to: lib bin bench test.  Directory paths are walked\n\
+   recursively (skipping _build and lint_fixtures); file paths are linted\n\
+   as given.  --scope forces the rule scope (lib | policy | display |\n\
+   bin | bench | test | examples | auto) instead of deriving it from each\n\
+   file's path.  Exit status: 0 clean, 1 error findings, 2 usage error.\n"
+
+type config = {
+  json : bool;
+  root : string;
+  scope : Scope.t option;
+  paths : string list;
+}
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let parse_args args =
+  let rec go cfg = function
+    | [] -> Ok { cfg with paths = List.rev cfg.paths }
+    | "--json" :: rest -> go { cfg with json = true } rest
+    | "--root" :: dir :: rest -> go { cfg with root = dir } rest
+    | "--root" :: [] -> Error "--root needs a directory"
+    | "--scope" :: s :: rest -> (
+        match Scope.of_string s with
+        | Some scope -> go { cfg with scope = Some scope } rest
+        | None -> Error (Printf.sprintf "unknown scope %S" s))
+    | "--scope" :: [] -> Error "--scope needs a value"
+    | "--rules" :: _ -> Error "--rules"
+    | ("--help" | "-h") :: _ -> Error "--help"
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Error (Printf.sprintf "unknown option %S" arg)
+    | path :: rest -> go { cfg with paths = path :: cfg.paths } rest
+  in
+  go { json = false; root = "."; scope = None; paths = [] } args
+
+let rel_to ~root path =
+  (* Normalize "./lib/foo.ml" and "root/lib/foo.ml" to "lib/foo.ml" for
+     scope classification and stable report paths. *)
+  let path =
+    if root = "." then path
+    else
+      let prefix = if Filename.check_suffix root "/" then root else root ^ "/" in
+      let lp = String.length prefix in
+      if String.length path > lp && String.sub path 0 lp = prefix then
+        String.sub path lp (String.length path - lp)
+      else path
+  in
+  let rec strip p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then strip (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  strip path
+
+let run ?(out = fun _ -> ()) args =
+  match parse_args args with
+  | Error "--help" ->
+      out usage;
+      0
+  | Error "--rules" ->
+      out (Report.rules_doc ());
+      0
+  | Error msg ->
+      out ("rejlint: " ^ msg ^ "\n");
+      out usage;
+      2
+  | Ok cfg ->
+      let paths = match cfg.paths with [] -> default_paths | ps -> ps in
+      let files_scanned = ref 0 in
+      let findings = ref [] in
+      let lint_one ~check_mli abs =
+        let rel = rel_to ~root:cfg.root abs in
+        let scope = match cfg.scope with Some s -> s | None -> Scope.classify rel in
+        incr files_scanned;
+        findings := Lint.lint_file ~check_mli ~rel ~scope abs @ !findings
+      in
+      let missing = ref [] in
+      List.iter
+        (fun p ->
+          let abs = if Filename.is_relative p then Filename.concat cfg.root p else p in
+          if Sys.file_exists abs && Sys.is_directory abs then
+            (* mli coverage is a property of the source tree, checked on
+               directory walks; explicit single files skip it so fixture
+               files can be linted in isolation. *)
+            List.iter (lint_one ~check_mli:true) (Walk.ml_files abs)
+          else if Sys.file_exists abs then lint_one ~check_mli:false abs
+          else missing := p :: !missing)
+        paths;
+      (match List.rev !missing with
+      | [] -> ()
+      | ps -> out (Printf.sprintf "rejlint: warning: no such path: %s\n" (String.concat ", " ps)));
+      let findings = List.sort Finding.order !findings in
+      let render = if cfg.json then Report.json else Report.human in
+      out (render ~files_scanned:!files_scanned findings);
+      let errors =
+        List.exists (fun (f : Finding.t) -> f.Finding.severity = Rule.Error) findings
+      in
+      if errors then 1 else 0

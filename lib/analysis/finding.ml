@@ -1,0 +1,51 @@
+type t = {
+  rule : Rule.id;
+  severity : Rule.severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> Rule.compare_id a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let severity_string = function Rule.Error -> "error" | Rule.Warning -> "warning"
+
+let to_human t =
+  Printf.sprintf "%s:%d:%d: [%s] %s (%s): %s" t.file t.line t.col
+    (severity_string t.severity)
+    (Rule.to_string t.rule) (Rule.code t.rule) t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"rule":"%s","code":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (Rule.to_string t.rule) (Rule.code t.rule)
+    (severity_string t.severity)
+    (json_escape t.file) t.line t.col (json_escape t.message)

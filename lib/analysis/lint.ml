@@ -1,0 +1,55 @@
+let parse_structure ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Parse.implementation lexbuf
+
+let parse_error_finding ~file exn =
+  let line, col, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok (err : Location.error)) ->
+        let loc = err.main.loc.loc_start in
+        ( loc.pos_lnum,
+          loc.pos_cnum - loc.pos_bol,
+          Format.asprintf "%t" (fun ppf -> err.main.txt ppf) )
+    | _ -> (1, 0, Printexc.to_string exn)
+  in
+  Finding.make ~rule:Rule.Parse_error ~severity:Rule.Error ~file ~line ~col msg
+
+let lint_source ~scope ~file source =
+  let suppressions = Suppress.scan source in
+  let findings =
+    if Filename.check_suffix file ".mli" then
+      (* Interfaces carry no executable code; we only check that they
+         parse, so a syntax-broken .mli cannot hide from the build. *)
+      try
+        let lexbuf = Lexing.from_string source in
+        Lexing.set_filename lexbuf file;
+        ignore (Parse.interface lexbuf);
+        []
+      with exn -> [ parse_error_finding ~file exn ]
+    else
+      try Ast_checks.check ~scope ~file (parse_structure ~file source)
+      with exn -> [ parse_error_finding ~file exn ]
+  in
+  List.sort Finding.order (Suppress.filter suppressions findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?(check_mli = true) ?rel ~scope path =
+  let file = match rel with Some r -> r | None -> path in
+  let source = read_file path in
+  let ast_findings = lint_source ~scope ~file source in
+  let mli_findings =
+    if check_mli then
+      match Mli_coverage.check ~scope path with
+      | Some f ->
+          let f = { f with Finding.file } in
+          Suppress.filter (Suppress.scan source) [ f ]
+      | None -> []
+    else []
+  in
+  List.sort Finding.order (ast_findings @ mli_findings)

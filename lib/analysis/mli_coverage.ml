@@ -1,0 +1,13 @@
+let check ~(scope : Scope.t) path =
+  if Scope.kind scope <> Scope.Lib then None
+  else if not (Filename.check_suffix path ".ml") then None
+  else begin
+    let mli = Filename.chop_suffix path ".ml" ^ ".mli" in
+    if Sys.file_exists mli then None
+    else
+      Some
+        (Finding.make ~rule:Rule.Missing_mli ~severity:Rule.Error ~file:path ~line:1 ~col:0
+           (Printf.sprintf
+              "lib/ module %s has no .mli: every library module must declare its interface"
+              (Filename.basename path)))
+  end

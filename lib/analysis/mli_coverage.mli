@@ -1,0 +1,6 @@
+(** RJL006: every [lib/] implementation must have an interface. *)
+
+val check : scope:Scope.t -> string -> Finding.t option
+(** [check ~scope path] returns a finding when [path] is a [lib/]-scoped
+    [.ml] file with no sibling [.mli] on disk.  A suppression comment on
+    the first line of the [.ml] silences it (applied by {!Lint}). *)

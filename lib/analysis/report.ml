@@ -1,0 +1,41 @@
+let count severity findings =
+  List.length (List.filter (fun (f : Finding.t) -> f.severity = severity) findings)
+
+let human ~files_scanned findings =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_human f);
+      Buffer.add_char buf '\n')
+    findings;
+  let errors = count Rule.Error findings and warnings = count Rule.Warning findings in
+  Buffer.add_string buf
+    (Printf.sprintf "rejlint: %d file%s scanned, %d error%s, %d warning%s\n" files_scanned
+       (if files_scanned = 1 then "" else "s")
+       errors
+       (if errors = 1 then "" else "s")
+       warnings
+       (if warnings = 1 then "" else "s"));
+  Buffer.contents buf
+
+let json ~files_scanned findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"version":1,"files_scanned":%d,"errors":%d,"warnings":%d,"findings":[|}
+       files_scanned (count Rule.Error findings) (count Rule.Warning findings));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Finding.to_json f))
+    findings;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let rules_doc () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-16s %s\n" (Rule.code r) (Rule.to_string r) (Rule.describe r)))
+    Rule.all;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Rendering findings for humans and machines. *)
+
+val human : files_scanned:int -> Finding.t list -> string
+(** One [file:line:col] line per finding plus a summary line. *)
+
+val json : files_scanned:int -> Finding.t list -> string
+(** A single JSON object:
+    [{"version":1,"files_scanned":N,"errors":E,"warnings":W,"findings":[...]}] *)
+
+val rules_doc : unit -> string
+(** The rule catalog, one line per rule (for [--rules]). *)

@@ -1,0 +1,68 @@
+type id =
+  | Parse_error
+  | Nondet_source
+  | Poly_compare
+  | Unstable_sort
+  | Global_mutable
+  | Stray_io
+  | Missing_mli
+
+type severity = Error | Warning
+
+let all =
+  [
+    Parse_error;
+    Nondet_source;
+    Poly_compare;
+    Unstable_sort;
+    Global_mutable;
+    Stray_io;
+    Missing_mli;
+  ]
+
+let to_string = function
+  | Parse_error -> "parse-error"
+  | Nondet_source -> "nondet-source"
+  | Poly_compare -> "poly-compare"
+  | Unstable_sort -> "unstable-sort"
+  | Global_mutable -> "global-mutable"
+  | Stray_io -> "stray-io"
+  | Missing_mli -> "missing-mli"
+
+let code = function
+  | Parse_error -> "RJL000"
+  | Nondet_source -> "RJL001"
+  | Poly_compare -> "RJL002"
+  | Unstable_sort -> "RJL003"
+  | Global_mutable -> "RJL004"
+  | Stray_io -> "RJL005"
+  | Missing_mli -> "RJL006"
+
+let of_string s =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if String.equal (to_string r) s || String.equal (code r) s then Some r else find rest
+  in
+  find all
+
+let describe = function
+  | Parse_error -> "file does not parse with the project compiler"
+  | Nondet_source ->
+      "nondeterminism source (Random.self_init, Sys.time, Unix.*, Hashtbl.iter/fold/hash) in lib/"
+  | Poly_compare ->
+      "bare polymorphic compare/(=)/(<) in a comparator passed to a sort; use Float.compare/Int.compare"
+  | Unstable_sort ->
+      "Array.sort comparator without a total id/index tie-break (unstable sort is a replay hazard)"
+  | Global_mutable -> "toplevel mutable state (ref/array/table) in a policy module"
+  | Stray_io -> "direct console I/O outside bin/, bench/ and the stats display modules"
+  | Missing_mli -> "lib/ module without a .mli interface"
+
+(* Rule ids are ordered by their catalog position so reports are stable. *)
+let index r =
+  let rec go i = function
+    | [] -> i
+    | r' :: rest -> if r' = r then i else go (i + 1) rest
+  in
+  go 0 all
+
+let compare_id a b = Int.compare (index a) (index b)

@@ -1,0 +1,28 @@
+(** The rejlint rule catalog.
+
+    Every rule has a stable kebab-case name (used in reports and in
+    [(* rejlint: allow <name> *)] suppression comments) and a short
+    [RJLnnn] code accepted as a synonym. *)
+
+type id =
+  | Parse_error  (** RJL000: the file does not parse. *)
+  | Nondet_source  (** RJL001: banned nondeterminism source in [lib/]. *)
+  | Poly_compare  (** RJL002: polymorphic compare inside a sort comparator. *)
+  | Unstable_sort  (** RJL003: unstable [Array.sort] without a total tie-break. *)
+  | Global_mutable  (** RJL004: toplevel mutable state in a policy module. *)
+  | Stray_io  (** RJL005: console I/O outside the display/driver layers. *)
+  | Missing_mli  (** RJL006: [lib/] module without an interface. *)
+
+type severity = Error | Warning
+
+val all : id list
+(** Catalog order; reports list findings of equal position in this order. *)
+
+val to_string : id -> string
+val code : id -> string
+
+val of_string : string -> id option
+(** Accepts both the kebab-case name and the [RJLnnn] code. *)
+
+val describe : id -> string
+val compare_id : id -> id -> int

@@ -1,0 +1,26 @@
+(** Which rule families apply to a file, derived from its repo-relative
+    path (or forced, e.g. when linting test fixtures as if they lived in
+    the scheduling core). *)
+
+type kind = Lib | Bin | Bench | Test | Examples | Other
+
+type t
+
+val make : ?policy:bool -> ?display:bool -> kind -> t
+
+val kind : t -> kind
+
+val policy : t -> bool
+(** Policy modules ([lib/core/], [lib/baselines/]) additionally ban
+    toplevel mutable state. *)
+
+val display : t -> bool
+(** The stats display modules ([lib/stats/table.ml], [lib/stats/chart.ml])
+    are exempt from the I/O rule. *)
+
+val classify : string -> t
+(** Classify a repo-relative path ("lib/model/schedule.ml"). *)
+
+val of_string : string -> t option
+(** Parse a [--scope] CLI value: lib | policy | display | bin | bench |
+    test | examples | auto. *)

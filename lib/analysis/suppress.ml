@@ -1,0 +1,81 @@
+(* A suppression is written as a comment:
+
+     (* rejlint: allow <rule> [<rule> ...] *)
+
+   and silences findings for the named rules on the same line and on the
+   line immediately below (so it can sit on its own line above the
+   offending expression, or trail it).  [allow all] silences every rule.
+
+   Comments are not part of the parsetree, so we scan the raw source.  A
+   line-oriented scan is deliberate: suppressions inside string literals
+   are pathological enough not to matter for a lint. *)
+
+type entry = { line : int; rules : Rule.id list; all : bool }
+
+type t = entry list
+
+let marker = "rejlint:"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+let tokens_after s start =
+  let n = String.length s in
+  let rec skip i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then skip (i + 1) else i in
+  let rec go acc i =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else if s.[i] = '*' && i + 1 < n && s.[i + 1] = ')' then List.rev acc
+    else begin
+      let j = ref i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      if !j = i then List.rev acc else go (String.sub s i (!j - i) :: acc) !j
+    end
+  in
+  go [] start
+
+let parse_line line text =
+  match String.index_opt text 'r' with
+  | None -> None
+  | Some _ -> (
+      (* Find the marker anywhere in the line. *)
+      let n = String.length text and m = String.length marker in
+      let rec find i =
+        if i + m > n then None
+        else if String.sub text i m = marker then Some (i + m)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some after -> (
+          match tokens_after text after with
+          | "allow" :: rules when rules <> [] ->
+              let all = List.mem "all" rules in
+              let rules = List.filter_map Rule.of_string rules in
+              Some { line; rules; all }
+          | _ -> None))
+
+let scan source =
+  let entries = ref [] in
+  let line = ref 1 in
+  let start = ref 0 in
+  let n = String.length source in
+  let flush stop =
+    let text = String.sub source !start (stop - !start) in
+    (match parse_line !line text with Some e -> entries := e :: !entries | None -> ());
+    incr line;
+    start := stop + 1
+  in
+  for i = 0 to n - 1 do
+    if source.[i] = '\n' then flush i
+  done;
+  if !start < n then flush n;
+  List.rev !entries
+
+let active t ~line rule =
+  List.exists
+    (fun e -> (e.line = line || e.line = line - 1) && (e.all || List.mem rule e.rules))
+    t
+
+let filter t findings =
+  List.filter (fun (f : Finding.t) -> not (active t ~line:f.line f.rule)) findings

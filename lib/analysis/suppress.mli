@@ -1,0 +1,16 @@
+(** [(* rejlint: allow <rule> ... *)] suppression comments.
+
+    A suppression names one or more rules (kebab-case name, RJLnnn code,
+    or [all]) and silences their findings on its own line and on the line
+    immediately below. *)
+
+type t
+
+val scan : string -> t
+(** Scan raw source text for suppression comments. *)
+
+val active : t -> line:int -> Rule.id -> bool
+(** Is [rule] suppressed for a finding on [line]? *)
+
+val filter : t -> Finding.t list -> Finding.t list
+(** Drop suppressed findings. *)

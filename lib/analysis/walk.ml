@@ -1,0 +1,23 @@
+(* Deterministic source discovery: Sys.readdir order is unspecified, so
+   every directory listing is sorted before use. *)
+
+let excluded_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+
+let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let ml_files root =
+  let acc = ref [] in
+  let rec go dir =
+    let entries = Sys.readdir dir in
+    Array.sort String.compare entries;
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then begin
+          if not (List.mem entry excluded_dirs) then go path
+        end
+        else if is_source entry then acc := path :: !acc)
+      entries
+  in
+  if Sys.file_exists root && Sys.is_directory root then go root;
+  List.rev !acc

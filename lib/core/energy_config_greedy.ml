@@ -76,7 +76,7 @@ let run ?speeds ?powers instance =
                 |> List.filter_map (fun s ->
                        let dur = int_of_float (Float.ceil (pij /. s)) in
                        if dur >= 1 && dur <= d - r then Some dur else None)
-                |> List.sort_uniq compare
+                |> List.sort_uniq Int.compare
               in
               (* If even the fastest grid speed cannot finish inside the
                  window, fall back to the fastest feasible execution (one

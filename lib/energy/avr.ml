@@ -2,7 +2,7 @@ let energy ~alpha jobs =
   if alpha < 1. then invalid_arg "Avr.energy: alpha must be >= 1";
   let points =
     List.concat_map (fun (j : Yds.job) -> [ j.Yds.release; j.Yds.deadline ]) jobs
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   let rec sweep acc = function
     | a :: (b :: _ as rest) ->

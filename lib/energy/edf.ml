@@ -1,6 +1,6 @@
 let min_speed jobs =
-  let t1s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
-  let t2s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
+  let t1s = List.sort_uniq Float.compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
+  let t2s = List.sort_uniq Float.compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
   List.fold_left
     (fun acc t1 ->
       List.fold_left
@@ -21,14 +21,14 @@ let min_speed jobs =
 let feasible ~speed jobs =
   if speed <= 0. then invalid_arg "Edf.feasible: speed must be positive";
   (* Event-driven preemptive EDF at constant speed. *)
-  let sorted = List.sort (fun (a : Yds.job) b -> compare a.Yds.release b.Yds.release) jobs in
+  let sorted = List.sort (fun (a : Yds.job) b -> Float.compare a.Yds.release b.Yds.release) jobs in
   let active : (float * float ref) list ref = ref [] (* (deadline, remaining) *) in
   let ok = ref true in
   let run_until t t' =
     (* Serve EDF during [t, t'). *)
     let budget = ref ((t' -. t) *. speed) in
     let rec serve () =
-      match List.sort (fun (d1, _) (d2, _) -> compare d1 d2) !active with
+      match List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2) !active with
       | [] -> ()
       | (d, rem) :: _ ->
           if !budget <= 0. then ()
@@ -53,7 +53,7 @@ let feasible ~speed jobs =
       (* Advance to this release, checking intermediate deadlines too. *)
       let deadlines =
         List.filter (fun (d, _) -> d > !clock && d < j.Yds.release) !active
-        |> List.map fst |> List.sort_uniq compare
+        |> List.map fst |> List.sort_uniq Float.compare
       in
       List.iter
         (fun d ->
@@ -65,7 +65,7 @@ let feasible ~speed jobs =
       active := (j.Yds.deadline, ref j.Yds.volume) :: !active)
     sorted;
   (* Drain the tail, stopping at each remaining deadline. *)
-  let rest = List.map fst !active |> List.sort_uniq compare in
+  let rest = List.map fst !active |> List.sort_uniq Float.compare in
   List.iter
     (fun d ->
       run_until !clock d;
@@ -82,8 +82,8 @@ let yds_peak_speed ~alpha jobs =
   let rec peel jobs peak =
     if jobs = [] then peak
     else begin
-      let t1s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
-      let t2s = List.sort_uniq compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
+      let t1s = List.sort_uniq Float.compare (List.map (fun (j : Yds.job) -> j.Yds.release) jobs) in
+      let t2s = List.sort_uniq Float.compare (List.map (fun (j : Yds.job) -> j.Yds.deadline) jobs) in
       let best = ref None in
       List.iter
         (fun t1 ->

@@ -58,7 +58,7 @@ let energy ~alpha jobs =
         invalid_arg "Oa.energy: bad job")
     jobs;
   let sorted =
-    List.sort (fun (a : Yds.job) b -> compare a.Yds.release b.Yds.release) jobs
+    List.sort (fun (a : Yds.job) b -> Float.compare a.Yds.release b.Yds.release) jobs
   in
   let insert_edf active (j : Yds.job) =
     let entry = { deadline = j.Yds.deadline; rem = j.Yds.volume } in

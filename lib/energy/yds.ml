@@ -16,8 +16,8 @@ let of_instance instance ~machine =
 (* One round: find the interval [t1, t2] (endpoints among releases and
    deadlines) maximizing the intensity of fully-contained jobs. *)
 let critical_interval jobs =
-  let t1s = List.sort_uniq compare (List.map (fun j -> j.release) jobs) in
-  let t2s = List.sort_uniq compare (List.map (fun j -> j.deadline) jobs) in
+  let t1s = List.sort_uniq Float.compare (List.map (fun j -> j.release) jobs) in
+  let t2s = List.sort_uniq Float.compare (List.map (fun j -> j.deadline) jobs) in
   let best = ref None in
   List.iter
     (fun t1 ->

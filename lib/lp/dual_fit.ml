@@ -129,7 +129,12 @@ let certify ~eps ~lambdas instance trace schedule =
   let steps_per_machine =
     Array.map
       (fun chs ->
-        let sorted = List.sort (fun (a, da) (b, db) -> compare (a, -da) (b, -db)) chs in
+        let sorted =
+          List.sort
+            (fun (a, da) (b, db) ->
+              match Float.compare a b with 0 -> Int.compare db da | c -> c)
+            chs
+        in
         (* Fold into (time, count-after) steps. *)
         let steps = ref [] and count = ref 0 in
         List.iter
@@ -195,7 +200,7 @@ let certify ~eps ~lambdas instance trace schedule =
     let events =
       List.map (fun (t, d) -> (t, `U d)) u_changes.(i)
       @ List.map (fun (t, d) -> (t, `R d)) r2_changes.(i)
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
     in
     let u = ref 0 and r = ref 0 in
     let rec sweep = function

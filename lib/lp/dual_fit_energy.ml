@@ -124,7 +124,7 @@ let certify ~eps ~gammas ~lambdas instance trace schedule =
           [ r.dispatched; r.ctilde ]
           @ (match r.exec with Some (a, b, _) -> [ a; b ] | None -> []))
         jobs
-      |> List.sort_uniq compare
+      |> List.sort_uniq Float.compare
     in
     let rec subdivide acc = function
       | a :: (b :: _ as rest) ->
@@ -136,7 +136,7 @@ let certify ~eps ~gammas ~lambdas instance trace schedule =
       | [ last ] -> last :: acc
       | [] -> acc
     in
-    List.sort_uniq compare (subdivide [] base)
+    List.sort_uniq Float.compare (subdivide [] base)
   in
   (* Constants. *)
   let alphas = Array.init m (fun i -> (Instance.machine instance i).Machine.alpha) in

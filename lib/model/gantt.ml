@@ -33,7 +33,7 @@ let render ?(width = 72) (s : Schedule.t) =
     Buffer.add_string buf "legend: ";
     let jobs = Instance.jobs_by_release s.Schedule.instance in
     let sorted = Array.copy jobs in
-    Array.sort (fun (a : Job.t) b -> compare a.Job.id b.Job.id) sorted;
+    Array.sort (fun (a : Job.t) b -> Int.compare a.Job.id b.Job.id) sorted;
     let count = Array.length sorted in
     let shown = min count 16 in
     for k = 0 to shown - 1 do

@@ -56,7 +56,7 @@ let fractional_flow ?(include_rejected = false) (s : Schedule.t) =
       if keep then begin
         let segs =
           List.filter (fun (g : Schedule.segment) -> g.job = j.id) s.segments
-          |> List.sort (fun (a : Schedule.segment) b -> compare a.start b.start)
+          |> List.sort (fun (a : Schedule.segment) b -> Float.compare a.start b.start)
         in
         let end_time = Outcome.end_time outcome in
         (* Walk waiting and execution pieces in order.  With restarts the
@@ -106,7 +106,7 @@ let energy_of_machine (s : Schedule.t) i =
         List.concat_map
           (fun (g : Schedule.segment) -> [ (g.start, g.speed); (g.stop, -.g.speed) ])
           segs
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
       in
       let rec sweep acc speed = function
         | (t0, d0) :: (((t1, _) :: _) as rest) ->

@@ -49,7 +49,8 @@ let outcome t id = t.outcomes.(id)
 
 let segments_of_machine t m =
   List.filter (fun s -> s.machine = m) t.segments
-  |> List.sort (fun a b -> compare (a.start, a.job) (b.start, b.job))
+  |> List.sort (fun a b ->
+         match Float.compare a.start b.start with 0 -> Int.compare a.job b.job | c -> c)
 
 let partition_jobs t =
   Array.fold_left
@@ -113,7 +114,12 @@ let validate ?(allow_parallel = false) ?(allow_restarts = false) ?check_deadline
       let segs = List.rev by_job.(j.id) in
       match t.outcomes.(j.id) with
       | Outcome.Completed c -> begin
-          let sorted = List.sort (fun a b -> compare a.start b.start) segs in
+          let sorted =
+            List.sort
+              (fun a b ->
+                match Float.compare a.start b.start with 0 -> Int.compare a.job b.job | c -> c)
+              segs
+          in
           let check_final s =
             if s.machine <> c.machine then
               err "job %d completed on machine %d but segment is on %d" j.id c.machine

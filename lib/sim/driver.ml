@@ -415,7 +415,7 @@ let run_state ?trace policy instance =
             record st (Trace.Dispatch { job = j.id; machine = i });
             let touched = List.map (reject_job st) decision.reject in
             let touched = touched @ List.map (restart_job st) decision.restart in
-            List.iter (try_start st queue seq policy pstate) (List.sort_uniq compare (i :: touched)));
+            List.iter (try_start st queue seq policy pstate) (List.sort_uniq Int.compare (i :: touched)));
         loop ()
   in
   loop ();

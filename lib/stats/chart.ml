@@ -121,7 +121,12 @@ let render ?(width = 640) ?(height = 400) ?(log_y = false) ~title ~x_label ~y_la
     List.iteri
       (fun k s ->
         let color = palette.(k mod Array.length palette) in
-        let sorted = List.sort compare s.points in
+        let sorted =
+          List.sort
+            (fun (x1, y1) (x2, y2) ->
+              match Float.compare x1 x2 with 0 -> Float.compare y1 y2 | c -> c)
+            s.points
+        in
         let path =
           String.concat " "
             (List.mapi

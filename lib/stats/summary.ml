@@ -34,7 +34,7 @@ let of_array a =
       /. float_of_int (n - 1)
   in
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   {
     count = n;
     mean;

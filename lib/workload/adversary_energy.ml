@@ -24,7 +24,7 @@ let feasibility_slack = 1e-6
    sweep the union of endpoints. *)
 let profile_energy ~alpha rects =
   let points =
-    List.concat_map (fun (a, b, _) -> [ a; b ]) rects |> List.sort_uniq compare
+    List.concat_map (fun (a, b, _) -> [ a; b ]) rects |> List.sort_uniq Float.compare
   in
   let rec sweep acc = function
     | a :: (b :: _ as rest) ->

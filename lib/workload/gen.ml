@@ -101,7 +101,7 @@ let release_times t rng =
           end
         end
       done;
-      Array.sort compare times;
+      Array.sort Float.compare times;
       times
 
 let instance t ~seed =

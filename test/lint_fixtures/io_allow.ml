@@ -1,0 +1,6 @@
+(* Fixture: RJL005 violations silenced by suppressions. *)
+
+(* rejlint: allow stray-io *)
+let show x = print_endline x
+
+let report n = Printf.printf "n=%d\n" n (* rejlint: allow stray-io *)

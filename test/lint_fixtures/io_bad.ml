@@ -1,0 +1,6 @@
+(* Fixture: console I/O fires RJL005 under plain lib/ scope. *)
+
+let show x = print_endline x
+let report n = Printf.printf "n=%d\n" n
+let warn msg = prerr_endline msg
+let tick () = Format.printf "@."

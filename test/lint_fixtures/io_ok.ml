@@ -1,0 +1,5 @@
+(* Fixture: string building and buffer writes must NOT fire RJL005. *)
+
+let render n = Printf.sprintf "n=%d" n
+let to_buf buf s = Buffer.add_string buf s
+let pp ppf n = Format.fprintf ppf "n=%d" n

@@ -1,0 +1,4 @@
+(* Fixture: a lib/-scoped module without a .mli fires RJL006 when its
+   directory is scanned. *)
+
+let answer = 42

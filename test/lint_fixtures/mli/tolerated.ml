@@ -1,0 +1,3 @@
+(* rejlint: allow missing-mli *)
+
+let answer = 42

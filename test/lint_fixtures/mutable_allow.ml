@@ -1,0 +1,6 @@
+(* Fixture: RJL004 violations silenced by suppressions. *)
+
+(* rejlint: allow global-mutable *)
+let hits = ref 0
+
+let cache = Array.make 16 0. (* rejlint: allow global-mutable *)

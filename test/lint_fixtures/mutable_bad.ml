@@ -1,0 +1,8 @@
+(* Fixture: toplevel mutable state fires RJL004 under policy scope
+   (lib/core/, lib/baselines/). *)
+
+let hits = ref 0
+let cache = Array.make 16 0.
+let table : (int, int) Hashtbl.t = Hashtbl.create 64
+let scratch = Buffer.create 256
+let grid = [| 1; 2; 3 |]

@@ -1,0 +1,16 @@
+(* Fixture: immutable toplevel values and function-local mutation must
+   NOT fire RJL004. *)
+
+let limit = 42
+let name = "policy"
+let weights = [ 0.5; 0.25; 0.25 ]
+
+let count xs =
+  let c = ref 0 in
+  List.iter (fun _ -> incr c) xs;
+  !c
+
+let histogram xs =
+  let buckets = Array.make 10 0 in
+  List.iter (fun x -> buckets.(x mod 10) <- buckets.(x mod 10) + 1) xs;
+  buckets

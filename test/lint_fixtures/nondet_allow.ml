@@ -1,0 +1,13 @@
+(* Fixture: the same violations as nondet_bad.ml, each silenced by a
+   suppression comment (above the line or trailing it). *)
+
+(* rejlint: allow nondet-source *)
+let seed () = Random.self_init ()
+
+let cpu () = Sys.time () (* rejlint: allow nondet-source *)
+
+(* rejlint: allow RJL001 *)
+let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+
+(* rejlint: allow all *)
+let bucket x = Hashtbl.hash x mod 16

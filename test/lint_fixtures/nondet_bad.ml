@@ -1,0 +1,9 @@
+(* Fixture: every banned nondeterminism source fires RJL001 when linted
+   under lib/ scope. *)
+
+let seed () = Random.self_init ()
+let cpu () = Sys.time ()
+let wall () = Unix.gettimeofday ()
+let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let dump tbl f = Hashtbl.iter f tbl
+let bucket x = Hashtbl.hash x mod 16

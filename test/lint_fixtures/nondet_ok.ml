@@ -1,0 +1,6 @@
+(* Fixture: deterministic code that must NOT fire RJL001.  Hashtbl
+   lookup (as opposed to iteration) is allowed. *)
+
+let now ~clock = clock
+let sum l = List.fold_left ( + ) 0 l
+let lookup tbl k = Hashtbl.find_opt tbl k

@@ -1,0 +1,6 @@
+(* Fixture: RJL002 violations silenced by suppressions. *)
+
+(* rejlint: allow poly-compare *)
+let by_value xs = List.sort (fun (a : float) b -> compare a b) xs
+
+let uniq xs = List.sort_uniq compare xs (* rejlint: allow poly-compare *)

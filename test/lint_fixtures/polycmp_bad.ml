@@ -1,0 +1,8 @@
+(* Fixture: polymorphic comparisons in sort comparators fire RJL002. *)
+
+let by_value xs = List.sort (fun (a : float) b -> compare a b) xs
+let uniq xs = List.sort_uniq compare xs
+let sorted_arr a = Array.sort compare a
+
+let by_pair xs =
+  List.sort (fun (a, b) (c, d) -> if a = c then compare b d else compare a c) xs

@@ -1,0 +1,12 @@
+(* Fixture: typed comparators must NOT fire RJL002; polymorphic (=)
+   outside a comparator is also fine. *)
+
+let by_value xs = List.sort Float.compare xs
+let uniq xs = List.sort_uniq Int.compare xs
+
+let by_pair xs =
+  List.sort
+    (fun (a, b) (c, d) -> match Float.compare a c with 0 -> Int.compare b d | x -> x)
+    xs
+
+let count_zeros xs = List.length (List.filter (fun x -> x = 0) xs)

@@ -1,0 +1,6 @@
+(* Fixture: RJL003 violation silenced by a suppression. *)
+
+type seg = { start : float; id : int }
+
+(* rejlint: allow unstable-sort *)
+let order (a : seg array) = Array.sort (fun x y -> Float.compare x.start y.start) a

@@ -1,0 +1,7 @@
+(* Fixture: an unstable Array.sort whose comparator has no visible
+   total tie-break fires RJL003 (equal-keyed elements would land in an
+   input-order-dependent order: a replay hazard). *)
+
+type seg = { start : float; id : int }
+
+let order (a : seg array) = Array.sort (fun x y -> Float.compare x.start y.start) a

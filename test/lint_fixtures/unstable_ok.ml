@@ -1,0 +1,18 @@
+(* Fixture: acceptable unstable sorts — a chained id tie-break, a sort
+   keyed directly on a unique id, a stable sort, and a trusted named
+   comparator. *)
+
+type seg = { start : float; id : int }
+
+let order (a : seg array) =
+  Array.sort
+    (fun x y -> match Float.compare x.start y.start with 0 -> Int.compare x.id y.id | c -> c)
+    a
+
+let by_id (a : seg array) = Array.sort (fun x y -> Int.compare x.id y.id) a
+let order_stable (a : seg array) = Array.stable_sort (fun x y -> Float.compare x.start y.start) a
+
+let compare_seg x y =
+  match Float.compare x.start y.start with 0 -> Int.compare x.id y.id | c -> c
+
+let named (a : seg array) = Array.sort compare_seg a

@@ -7,7 +7,7 @@ let test_registry_complete () =
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e11"; "e12"; "e13"; "e14" ]
     ids;
   Alcotest.(check int) "ids unique" (List.length ids)
-    (List.length (List.sort_uniq compare ids))
+    (List.length (List.sort_uniq String.compare ids))
 
 let test_find () =
   Alcotest.(check bool) "find e3" true (Registry.find "e3" <> None);

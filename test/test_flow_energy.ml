@@ -34,7 +34,8 @@ let test_speed_grows_with_queue () =
         | Outcome.Completed c -> Some (c.Outcome.start, c.Outcome.speed)
         | Outcome.Rejected _ -> None)
       [ 1; 2 ]
-    |> List.sort compare
+    |> List.sort (fun (a1, s1) (a2, s2) ->
+           match Float.compare a1 a2 with 0 -> Float.compare s1 s2 | c -> c)
   in
   match speeds with
   | [ (_, s1); (_, s2) ] ->

@@ -1,0 +1,283 @@
+(* Tests for rejlint, the static determinism linter (lib/analysis/).
+
+   The per-rule fixtures live in test/lint_fixtures/ — one violating, one
+   clean and one suppressed file per rule family — and are linted here
+   under a forced scope, exactly as `rejlint --scope <s>` would.  A final
+   meta-test runs the full driver over the repository itself and demands
+   a clean bill of health: the tree must satisfy its own linter. *)
+
+module RL = Rejlint_lib
+
+let scope name =
+  match RL.Scope.of_string name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scope %S" name
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let lint ?(scope_name = "lib") name =
+  RL.Lint.lint_file ~check_mli:false ~scope:(scope scope_name) (fixture name)
+
+let rules findings = List.map (fun f -> f.RL.Finding.rule) findings
+let lines findings = List.map (fun f -> f.RL.Finding.line) findings
+
+let check_all_rule rule findings =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "rule" (RL.Rule.to_string rule)
+        (RL.Rule.to_string f.RL.Finding.rule))
+    findings
+
+(* --- per-rule fixtures ------------------------------------------------- *)
+
+let test_nondet_bad () =
+  let fs = lint "nondet_bad.ml" in
+  Alcotest.(check int) "findings" 6 (List.length fs);
+  check_all_rule RL.Rule.Nondet_source fs;
+  Alcotest.(check (list int)) "lines" [ 4; 5; 6; 7; 8; 9 ] (lines fs)
+
+let test_nondet_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint "nondet_ok.ml"))
+
+let test_nondet_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "nondet_allow.ml"))
+
+let test_polycmp_bad () =
+  let fs = lint "polycmp_bad.ml" in
+  Alcotest.(check int) "findings" 6 (List.length fs);
+  check_all_rule RL.Rule.Poly_compare fs
+
+let test_polycmp_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint "polycmp_ok.ml"))
+
+let test_polycmp_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "polycmp_allow.ml"))
+
+let test_unstable_bad () =
+  let fs = lint "unstable_bad.ml" in
+  Alcotest.(check int) "findings" 1 (List.length fs);
+  check_all_rule RL.Rule.Unstable_sort fs;
+  Alcotest.(check (list int)) "line" [ 7 ] (lines fs)
+
+let test_unstable_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint "unstable_ok.ml"))
+
+let test_unstable_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "unstable_allow.ml"))
+
+let test_mutable_bad () =
+  let fs = lint ~scope_name:"policy" "mutable_bad.ml" in
+  Alcotest.(check int) "findings" 5 (List.length fs);
+  check_all_rule RL.Rule.Global_mutable fs
+
+let test_mutable_needs_policy_scope () =
+  (* Plain lib/ scope tolerates toplevel state; only policy modules ban it. *)
+  Alcotest.(check int) "lib scope" 0 (List.length (lint "mutable_bad.ml"))
+
+let test_mutable_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint ~scope_name:"policy" "mutable_ok.ml"))
+
+let test_mutable_allow () =
+  Alcotest.(check int) "suppressed" 0
+    (List.length (lint ~scope_name:"policy" "mutable_allow.ml"))
+
+let test_io_bad () =
+  let fs = lint "io_bad.ml" in
+  Alcotest.(check int) "findings" 4 (List.length fs);
+  check_all_rule RL.Rule.Stray_io fs
+
+let test_io_ok_in_bin () =
+  (* The same I/O is fine in bin/ and in the display modules. *)
+  Alcotest.(check int) "bin scope" 0
+    (List.length (lint ~scope_name:"bin" "io_bad.ml"));
+  Alcotest.(check int) "display scope" 0
+    (List.length (lint ~scope_name:"display" "io_bad.ml"))
+
+let test_io_ok () = Alcotest.(check int) "clean" 0 (List.length (lint "io_ok.ml"))
+
+let test_io_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "io_allow.ml"))
+
+let test_mli_coverage () =
+  (* RJL006 is a directory-walk property: scan the mli/ fixture tree. *)
+  let buf = Buffer.create 256 in
+  let code =
+    RL.Driver.run ~out:(Buffer.add_string buf)
+      [ "--scope"; "lib"; "--root"; "lint_fixtures"; "mli" ]
+  in
+  let out = Buffer.contents buf in
+  Alcotest.(check int) "exit" 1 code;
+  Alcotest.(check bool) "orphan flagged" true (Test_util.contains out "orphan.ml");
+  Alcotest.(check bool) "rule named" true (Test_util.contains out "missing-mli");
+  Alcotest.(check bool) "covered clean" false (Test_util.contains out "covered.ml:");
+  Alcotest.(check bool) "tolerated clean" false (Test_util.contains out "tolerated.ml:")
+
+(* --- inline sources: edge cases the fixtures do not cover -------------- *)
+
+let lint_src ?(scope_name = "lib") src =
+  RL.Lint.lint_source ~scope:(scope scope_name) ~file:"inline.ml" src
+
+let test_stdlib_prefix_normalized () =
+  (* Stdlib.compare is the same bare polymorphic compare. *)
+  let fs = lint_src "let f xs = List.sort Stdlib.compare xs\n" in
+  Alcotest.(check (list string)) "rules" [ "poly-compare" ]
+    (List.map RL.Rule.to_string (rules fs))
+
+let test_named_comparator_trusted () =
+  (* A named comparator is audited at its definition, not at every call. *)
+  Alcotest.(check int) "named" 0
+    (List.length (lint_src "let f cmp a = Array.sort cmp a\n"))
+
+let test_tuple_key_is_tie_break () =
+  (* Comparing whole tuple keys is a total order; only the polymorphic
+     compare itself is flagged, not the sort. *)
+  let fs =
+    lint_src
+      "type r = { a : int; b : int }\n\
+       let f (xs : r array) = Array.sort (fun x y -> compare (x.a, x.b) (y.a, y.b)) xs\n"
+  in
+  Alcotest.(check (list string)) "rules" [ "poly-compare" ]
+    (List.map RL.Rule.to_string (rules fs))
+
+let test_parse_error () =
+  let fs = lint_src "let = (\n" in
+  Alcotest.(check (list string)) "rules" [ "parse-error" ]
+    (List.map RL.Rule.to_string (rules fs))
+
+let test_scope_gates_nondet () =
+  (* Nondeterminism sources are banned in lib/, tolerated in test/. *)
+  let src = "let t () = Sys.time ()\n" in
+  Alcotest.(check int) "lib" 1 (List.length (lint_src src));
+  Alcotest.(check int) "test" 0 (List.length (lint_src ~scope_name:"test" src))
+
+(* --- suppression semantics -------------------------------------------- *)
+
+let test_suppress_scope_lines () =
+  let src =
+    "(* rejlint: allow nondet-source *)\nlet a () = Sys.time ()\nlet b () = Sys.time ()\n"
+  in
+  let sup = RL.Suppress.scan src in
+  Alcotest.(check bool) "line below" true
+    (RL.Suppress.active sup ~line:2 RL.Rule.Nondet_source);
+  Alcotest.(check bool) "two below" false
+    (RL.Suppress.active sup ~line:3 RL.Rule.Nondet_source);
+  Alcotest.(check bool) "other rule" false
+    (RL.Suppress.active sup ~line:2 RL.Rule.Stray_io);
+  (* End to end: only the first violation is silenced. *)
+  Alcotest.(check (list int)) "lines" [ 3 ] (lines (lint_src src))
+
+let test_suppress_code_synonym () =
+  let src = "let a () = Sys.time () (* rejlint: allow RJL001 *)\n" in
+  Alcotest.(check int) "code synonym" 0 (List.length (lint_src src))
+
+let test_suppress_all () =
+  let src = "let a () = Sys.time () (* rejlint: allow all *)\n" in
+  Alcotest.(check int) "all" 0 (List.length (lint_src src))
+
+(* --- rule catalog and report formats ----------------------------------- *)
+
+let test_rule_roundtrip () =
+  List.iter
+    (fun id ->
+      let name = RL.Rule.to_string id and code = RL.Rule.code id in
+      Alcotest.(check bool) ("name " ^ name) true (RL.Rule.of_string name = Some id);
+      Alcotest.(check bool) ("code " ^ code) true (RL.Rule.of_string code = Some id))
+    RL.Rule.all;
+  let codes = List.map RL.Rule.code RL.Rule.all in
+  Alcotest.(check int) "codes unique"
+    (List.length codes)
+    (List.length (List.sort_uniq String.compare codes))
+
+let test_human_format () =
+  match lint "nondet_bad.ml" with
+  | f :: _ ->
+      let line = RL.Finding.to_human f in
+      Alcotest.(check bool) "location" true
+        (Test_util.contains line "nondet_bad.ml:4:");
+      Alcotest.(check bool) "code" true (Test_util.contains line "RJL001")
+  | [] -> Alcotest.fail "expected findings"
+
+let test_driver_json () =
+  let buf = Buffer.create 256 in
+  let code =
+    RL.Driver.run ~out:(Buffer.add_string buf)
+      [ "--json"; "--scope"; "lib"; fixture "nondet_bad.ml" ]
+  in
+  let out = Buffer.contents buf in
+  Alcotest.(check int) "exit" 1 code;
+  Alcotest.(check bool) "version" true (Test_util.contains out "\"version\":1");
+  Alcotest.(check bool) "rule" true
+    (Test_util.contains out "\"rule\":\"nondet-source\"");
+  Alcotest.(check bool) "line" true (Test_util.contains out "\"line\":4");
+  Alcotest.(check bool) "errors" true (Test_util.contains out "\"errors\":6")
+
+let test_driver_clean_exit () =
+  let buf = Buffer.create 256 in
+  let code =
+    RL.Driver.run ~out:(Buffer.add_string buf)
+      [ "--scope"; "lib"; fixture "io_ok.ml" ]
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_driver_usage_error () =
+  let code = RL.Driver.run ~out:ignore [ "--scope"; "no-such-scope" ] in
+  Alcotest.(check int) "exit" 2 code
+
+(* --- the repository lints itself --------------------------------------- *)
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project")
+       && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_repo_is_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate repository root from cwd"
+  | Some root ->
+      let buf = Buffer.create 1024 in
+      let code = RL.Driver.run ~out:(Buffer.add_string buf) [ "--root"; root ] in
+      if code <> 0 then
+        Alcotest.failf "repository is not lint-clean:\n%s" (Buffer.contents buf)
+
+let suite =
+  [
+    Alcotest.test_case "nondet: fixture fires" `Quick test_nondet_bad;
+    Alcotest.test_case "nondet: clean fixture" `Quick test_nondet_ok;
+    Alcotest.test_case "nondet: suppressed fixture" `Quick test_nondet_allow;
+    Alcotest.test_case "polycmp: fixture fires" `Quick test_polycmp_bad;
+    Alcotest.test_case "polycmp: clean fixture" `Quick test_polycmp_ok;
+    Alcotest.test_case "polycmp: suppressed fixture" `Quick test_polycmp_allow;
+    Alcotest.test_case "unstable: fixture fires" `Quick test_unstable_bad;
+    Alcotest.test_case "unstable: clean fixture" `Quick test_unstable_ok;
+    Alcotest.test_case "unstable: suppressed fixture" `Quick test_unstable_allow;
+    Alcotest.test_case "mutable: fixture fires" `Quick test_mutable_bad;
+    Alcotest.test_case "mutable: policy scope only" `Quick test_mutable_needs_policy_scope;
+    Alcotest.test_case "mutable: clean fixture" `Quick test_mutable_ok;
+    Alcotest.test_case "mutable: suppressed fixture" `Quick test_mutable_allow;
+    Alcotest.test_case "io: fixture fires" `Quick test_io_bad;
+    Alcotest.test_case "io: allowed in bin/display" `Quick test_io_ok_in_bin;
+    Alcotest.test_case "io: clean fixture" `Quick test_io_ok;
+    Alcotest.test_case "io: suppressed fixture" `Quick test_io_allow;
+    Alcotest.test_case "mli: orphan flagged, covered clean" `Quick test_mli_coverage;
+    Alcotest.test_case "polycmp: Stdlib. prefix normalized" `Quick test_stdlib_prefix_normalized;
+    Alcotest.test_case "unstable: named comparator trusted" `Quick test_named_comparator_trusted;
+    Alcotest.test_case "unstable: tuple key is a tie-break" `Quick test_tuple_key_is_tie_break;
+    Alcotest.test_case "parse error reported" `Quick test_parse_error;
+    Alcotest.test_case "scope gates nondet rule" `Quick test_scope_gates_nondet;
+    Alcotest.test_case "suppress: line scope" `Quick test_suppress_scope_lines;
+    Alcotest.test_case "suppress: RJLnnn synonym" `Quick test_suppress_code_synonym;
+    Alcotest.test_case "suppress: all" `Quick test_suppress_all;
+    Alcotest.test_case "rule catalog roundtrips" `Quick test_rule_roundtrip;
+    Alcotest.test_case "human report format" `Quick test_human_format;
+    Alcotest.test_case "json report format" `Quick test_driver_json;
+    Alcotest.test_case "driver: clean exit 0" `Quick test_driver_clean_exit;
+    Alcotest.test_case "driver: usage error exit 2" `Quick test_driver_usage_error;
+    Alcotest.test_case "meta: the repository lints itself clean" `Quick test_repo_is_clean;
+  ]

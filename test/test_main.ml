@@ -31,4 +31,5 @@ let () =
       ("policy-registry", Test_policy_registry.suite);
       ("differential", Test_differential.suite);
       ("replay", Test_replay.suite);
+      ("lint", Test_lint.suite);
     ]

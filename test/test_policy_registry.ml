@@ -30,7 +30,7 @@ let shared_workloads =
 let test_names_unique_and_findable () =
   let names = List.map (fun (e : PR.entry) -> e.PR.name) PR.all in
   Alcotest.(check int) "no duplicate names" (List.length names)
-    (List.length (List.sort_uniq compare names));
+    (List.length (List.sort_uniq String.compare names));
   List.iter
     (fun name ->
       match PR.find name with

@@ -51,7 +51,8 @@ let test_heap_property_random () =
     let popped = drain [] in
     let expected =
       List.mapi (fun i (k, _) -> (k, i)) pairs
-      |> List.sort (fun (k1, t1) (k2, t2) -> compare (k1, t1) (k2, t2))
+      |> List.sort (fun (k1, t1) (k2, t2) ->
+             match Float.compare k1 k2 with 0 -> Int.compare t1 t2 | c -> c)
     in
     popped = expected
   in
@@ -93,7 +94,9 @@ let test_indexed_sorted_model () =
     in
     let popped = drain [] in
     let expected =
-      Array.to_list (Array.mapi (fun id k -> (k, id)) keys) |> List.sort compare
+      Array.to_list (Array.mapi (fun id k -> (k, id)) keys)
+      |> List.sort (fun (k1, i1) (k2, i2) ->
+             match Int.compare k1 k2 with 0 -> Int.compare i1 i2 | c -> c)
     in
     popped = expected
   in
@@ -132,7 +135,8 @@ let test_indexed_arbitrary_removal () =
       Array.to_list entries
       |> List.mapi (fun id (k, remove) -> (k, id, remove))
       |> List.filter_map (fun (k, id, remove) -> if remove then None else Some (k, id))
-      |> List.sort compare
+      |> List.sort (fun (k1, i1) (k2, i2) ->
+             match Int.compare k1 k2 with 0 -> Int.compare i1 i2 | c -> c)
     in
     drain [] = survivors
   in

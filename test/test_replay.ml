@@ -40,6 +40,63 @@ let test_rerun_byte_identical () =
         insts)
     PR.all
 
+(* Fisher–Yates with the repo's own deterministic RNG. *)
+let permute ~seed xs =
+  let a = Array.of_list xs in
+  let rng = Sched_stats.Rng.create seed in
+  for i = Array.length a - 1 downto 1 do
+    let j = Sched_stats.Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let test_instance_order_independent () =
+  (* Instance.create canonicalizes job order with a total comparator
+     (release, then id), so permuting the input job list — including jobs
+     with duplicate release times, where an unstable or partial sort
+     would betray input order — must yield a byte-identical instance and
+     byte-identical schedules. *)
+  let jobs =
+    List.mapi
+      (fun id (release, size) ->
+        Job.create ~id ~release ~sizes:[| size; 2. *. size |] ())
+      [ (0., 2.); (0., 1.); (1., 4.); (1., 0.5); (1., 3.); (2., 1.5); (0., 0.25) ]
+  in
+  let machines = Machine.fleet 2 in
+  let canonical = Instance.create ~name:"perm" ~machines ~jobs () in
+  let reference = Serialize.instance_to_string canonical in
+  let e = Option.get (PR.find "flow-reject") in
+  let schedule_ref = dump e canonical in
+  List.iter
+    (fun seed ->
+      let shuffled = Instance.create ~name:"perm" ~machines ~jobs:(permute ~seed jobs) () in
+      Alcotest.(check string)
+        (Printf.sprintf "instance, permutation seed %d" seed)
+        reference
+        (Serialize.instance_to_string shuffled);
+      Alcotest.(check string)
+        (Printf.sprintf "schedule, permutation seed %d" seed)
+        schedule_ref (dump e shuffled))
+    [ 11; 23; 97 ]
+
+let test_summary_order_independent () =
+  (* Summary.of_array sorts internally with a total order on floats, so
+     sample order cannot leak into any reported statistic. *)
+  let samples = [ 3.5; 1.25; 3.5; 0.5; 2.; 2.; 7.75; 1.25; 3.5 ] in
+  let show s =
+    Format.asprintf "%a" Sched_stats.Summary.pp s
+  in
+  let reference = show (Sched_stats.Summary.of_list samples) in
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        (Printf.sprintf "summary, permutation seed %d" seed)
+        reference
+        (show (Sched_stats.Summary.of_list (permute ~seed samples))))
+    [ 3; 19; 71 ]
+
 let test_parallel_equals_sequential_runs () =
   let insts =
     Array.init 8 (fun k ->
@@ -57,6 +114,10 @@ let suite =
   [
     Alcotest.test_case "same seed, same instance" `Quick test_same_seed_same_instance;
     Alcotest.test_case "rerun byte-identical (all policies)" `Quick test_rerun_byte_identical;
+    Alcotest.test_case "instance independent of job input order" `Quick
+      test_instance_order_independent;
+    Alcotest.test_case "summary independent of sample order" `Quick
+      test_summary_order_independent;
     Alcotest.test_case "parallel == sequential schedules" `Quick
       test_parallel_equals_sequential_runs;
   ]

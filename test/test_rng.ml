@@ -75,7 +75,7 @@ let test_shuffle_permutation () =
   let a = Array.init 20 Fun.id in
   Rng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
 
 let test_uniform_mean () =

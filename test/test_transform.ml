@@ -96,7 +96,7 @@ let test_subsample () =
   let ids = Array.to_list (Array.map (fun (j : Job.t) -> j.Job.id) jobs) in
   Alcotest.(check (list int)) "compact ids"
     (List.init (Instance.n sub) Fun.id)
-    (List.sort compare ids)
+    (List.sort Int.compare ids)
 
 let test_concat () =
   let a = Test_util.instance ~machines:2 [ (0., [| 2.; 2. |]) ] in
