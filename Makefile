@@ -24,12 +24,14 @@ quick-bench:
 	REJSCHED_QUICK=1 dune exec bench/main.exe
 
 # Regression gate: tier-1 tests plus the indexed-vs-scan performance
-# baseline.  Writes BENCH_pr1.json; fails if the driver-event
-# microbenchmark speedup drops below 2x or any test regresses.
+# baseline.  Writes BENCH_pr3.json (telemetry counter snapshot embedded)
+# and compares throughput against the newest previous BENCH_*.json;
+# fails if the driver-event microbenchmark speedup — bare or with
+# telemetry recording — drops below 2x, or any test regresses.
 bench-check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --regression BENCH_pr1.json
+	dune exec bench/main.exe -- --regression --out BENCH_pr3.json
 
 examples:
 	dune exec examples/quickstart.exe

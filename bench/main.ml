@@ -8,12 +8,16 @@
    Part 2 runs one Bechamel micro-benchmark per experiment's core
    computation, plus a simulator-throughput benchmark (E10).
 
-   Part 3 (selected with --regression) is the regression harness behind
-   `make bench-check`: it times the indexed driver fast path against the
-   scan-based seed references on an overloaded instance, records
-   end-to-end wall time and sequential-vs-parallel scaling, writes the
-   numbers to a JSON baseline (default BENCH_pr1.json) and exits non-zero
-   if the driver-event microbenchmark speedup falls below 2x.
+   Part 3 (selected with --regression, output file via --out, default
+   BENCH_pr3.json) is the regression harness behind `make bench-check`:
+   it times the indexed driver fast path against the scan-based seed
+   references on an overloaded instance — once bare and once with the
+   telemetry layer recording — records end-to-end wall time and
+   sequential-vs-parallel scaling, embeds the telemetry counter snapshot,
+   writes the numbers to a JSON baseline, compares the throughput against
+   the newest previous BENCH_*.json, and exits non-zero if either
+   driver-event microbenchmark speedup (bare or telemetry-on) falls below
+   2x.
 
    Run with: dune exec bench/main.exe
    (set REJSCHED_QUICK=1 for a fast smoke run) *)
@@ -190,6 +194,45 @@ let count_events (s : Sched_model.Schedule.t) =
   Sched_model.Instance.n s.Sched_model.Schedule.instance
   + (2 * List.length s.Sched_model.Schedule.segments)
 
+(* Newest previous baseline by name: the PR number in BENCH_prN.json sorts. *)
+let newest_baseline ~excluding =
+  let keep f =
+    String.length f > 6
+    && String.sub f 0 6 = "BENCH_"
+    && Filename.check_suffix f ".json"
+    && f <> excluding
+    && f <> Filename.basename excluding
+  in
+  match
+    List.sort
+      (fun a b -> String.compare b a)
+      (List.filter keep (Array.to_list (Sys.readdir ".")))
+  with
+  | [] -> None
+  | f :: _ -> Some f
+
+(* Pull one scalar field ("key": value) out of a baseline file without a
+   JSON parser; returns the raw token after the colon. *)
+let scan_json_field ~key content =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle and clen = String.length content in
+  let rec find i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+      let rec skip k = if k < clen && content.[k] = ' ' then skip (k + 1) else k in
+      let start = skip j in
+      let rec stop k =
+        if k >= clen then k
+        else match content.[k] with ',' | '\n' | '}' | ' ' -> k | _ -> stop (k + 1)
+      in
+      let fin = stop start in
+      if fin > start then Some (String.sub content start (fin - start)) else None
+
 let run_regression out_path =
   let module PR = Sched_experiments.Policy_registry in
   let module SR = Sched_baselines.Seed_reference in
@@ -221,6 +264,30 @@ let run_regression out_path =
     (float_of_int events /. t_opt)
     (float_of_int events /. t_ref)
     speedup;
+
+  (* 3a': the same run with the telemetry layer recording (counters, gauges
+     and phase spans).  Observability must neither change the schedule nor
+     eat the indexed win: the telemetry-on run is held to the same 2x gate
+     against the seed scans.  One instrumented run's counter snapshot is
+     embedded in the JSON baseline below. *)
+  let obs = Sched_obs.Obs.timed () in
+  let s_tel = D.run_schedule ~obs Sched_baselines.Greedy_dispatch.spt inst in
+  if
+    Sched_model.Serialize.schedule_to_string s_tel
+    <> Sched_model.Serialize.schedule_to_string s_opt
+  then begin
+    prerr_endline "FAIL: telemetry-instrumented greedy-spt diverges from the bare run";
+    exit 1
+  end;
+  let t_tel =
+    best_of reps (fun () ->
+        ignore (D.run_schedule ~obs:(Sched_obs.Obs.timed ()) Sched_baselines.Greedy_dispatch.spt inst))
+  in
+  let tel_speedup = t_ref /. t_tel in
+  Printf.printf
+    "  with telemetry: indexed %.0f ev/s, overhead %.2fx over bare, speedup vs seed %.1fx\n%!"
+    (float_of_int events /. t_tel)
+    (t_tel /. t_opt) tel_speedup;
 
   (* Secondary (non-gating): flow-reject, whose lambda pass is O(m k) on
      both sides — the index only accelerates dispatch/select/accounting. *)
@@ -263,7 +330,7 @@ let run_regression out_path =
 
   (* JSON baseline. *)
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"pr\": \"pr1\",\n";
+  Printf.bprintf buf "  \"pr\": \"pr3\",\n";
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
   Printf.bprintf buf "  \"driver_event_microbench\": {\n";
   Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
@@ -273,6 +340,12 @@ let run_regression out_path =
   Printf.bprintf buf "    \"indexed_events_per_sec\": %.1f,\n" (float_of_int events /. t_opt);
   Printf.bprintf buf "    \"seed_scan_events_per_sec\": %.1f,\n" (float_of_int events /. t_ref);
   Printf.bprintf buf "    \"speedup\": %.3f\n  },\n" speedup;
+  Printf.bprintf buf "  \"telemetry\": {\n";
+  Printf.bprintf buf "    \"instrumented_seconds\": %.6f,\n" t_tel;
+  Printf.bprintf buf "    \"overhead_ratio\": %.3f,\n" (t_tel /. t_opt);
+  Printf.bprintf buf "    \"speedup_vs_seed\": %.3f,\n" tel_speedup;
+  Printf.bprintf buf "    \"snapshot\": %s\n  },\n"
+    (String.trim (Sched_obs.Export.json (Sched_obs.Obs.registry obs)));
   Printf.bprintf buf "  \"flow_reject_microbench\": {\n";
   Printf.bprintf buf "    \"n\": %d,\n" (Sched_model.Instance.n fr_inst);
   Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_fr_opt;
@@ -295,19 +368,65 @@ let run_regression out_path =
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf "  wrote %s\n%!" out_path;
+
+  (* 3d: compare against the newest previous baseline (BENCH_*.json other
+     than the file just written, newest by name — the PR number sorts).
+     Skipped in quick mode and against quick-mode baselines: those wall
+     times are not comparable.  A >2x throughput drop fails the check. *)
+  (match newest_baseline ~excluding:out_path with
+  | None -> Printf.printf "  no previous BENCH_*.json baseline to compare against\n%!"
+  | Some file ->
+      let content = In_channel.with_open_text file In_channel.input_all in
+      let base_quick =
+        match scan_json_field ~key:"quick" content with Some s -> s = "true" | None -> false
+      in
+      let base_eps =
+        match scan_json_field ~key:"indexed_events_per_sec" content with
+        | Some s -> float_of_string_opt s
+        | None -> None
+      in
+      (match base_eps with
+      | None -> Printf.printf "  baseline %s has no indexed_events_per_sec; skipping compare\n%!" file
+      | Some base ->
+          let current = float_of_int events /. t_opt in
+          Printf.printf "  baseline %s: %.0f ev/s, current %.0f ev/s (%.2fx)\n%!" file base current
+            (current /. base);
+          if quick || base_quick then
+            Printf.printf "  (quick mode involved; baseline comparison not gated)\n%!"
+          else if current < 0.5 *. base then begin
+            Printf.eprintf "FAIL: throughput dropped more than 2x vs baseline %s\n%!" file;
+            exit 1
+          end));
+
   if speedup < 2.0 then begin
     Printf.eprintf "FAIL: driver-event speedup %.2fx is below the 2x gate\n%!" speedup;
     exit 1
   end;
-  Printf.printf "  PASS: driver-event speedup %.1fx >= 2x gate\n%!" speedup
+  if tel_speedup < 2.0 then begin
+    Printf.eprintf "FAIL: telemetry-on speedup %.2fx is below the 2x gate\n%!" tel_speedup;
+    exit 1
+  end;
+  Printf.printf "  PASS: driver-event speedup %.1fx (%.1fx with telemetry) >= 2x gate\n%!" speedup
+    tel_speedup
 
 let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--regression" argv then
+    let rec named = function
+      | "--out" :: path :: _ -> Some path
+      | _ :: rest -> named rest
+      | [] -> None
+    in
     let out =
-      match List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv) with
-      | [ path ] -> path
-      | _ -> "BENCH_pr1.json"
+      match named argv with
+      | Some path -> path
+      | None -> (
+          (* Back-compat: a bare positional path still works. *)
+          match
+            List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv)
+          with
+          | [ path ] -> path
+          | _ -> "BENCH_pr3.json")
     in
     run_regression out
   else begin

@@ -89,7 +89,20 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "segments" ] ~docv:"FILE" ~doc:"Write the schedule's segments as CSV to FILE.")
   in
-  let action policy workload n m seed eps csv gantt svg load swf save segments sizes =
+  let telemetry_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:"Record run telemetry (decision counters, per-machine queue gauges, phase \
+                   spans) and write the JSON snapshot to FILE, or to stdout when FILE is '-'.")
+  in
+  let trace_ndjson_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-ndjson" ] ~docv:"FILE"
+             ~doc:"Stream the run's trace events to FILE as newline-delimited JSON (one \
+                   schema-tagged object per event), or to stdout when FILE is '-'.")
+  in
+  let action policy workload n m seed eps csv gantt svg load swf save segments sizes telemetry
+      trace_ndjson =
     let gen = apply_sizes (workload_of_name ~n ~m workload) sizes in
     let inst =
       match (load, swf) with
@@ -108,22 +121,36 @@ let run_cmd =
       | None, None -> Gen.instance gen ~seed
     in
     (match save with Some path -> Serialize.save_instance ~path inst | None -> ());
+    let obs = match telemetry with None -> None | Some _ -> Some (Sched_obs.Obs.timed ()) in
+    let trace = match trace_ndjson with None -> None | Some _ -> Some (Sched_sim.Trace.create ()) in
     let module FR = Rejection.Flow_reject in
     let schedule =
       match policy with
-      | "thm1" -> fst (FR.run (FR.config ~eps ()) inst)
-      | "thm1-rule1" -> fst (FR.run (FR.config ~eps ~rule2:false ()) inst)
-      | "thm1-rule2" -> fst (FR.run (FR.config ~eps ~rule1:false ()) inst)
-      | "fifo" -> Sched_sim.Driver.run_schedule Sched_baselines.Greedy_dispatch.fifo inst
-      | "spt" -> Sched_sim.Driver.run_schedule Sched_baselines.Greedy_dispatch.spt inst
+      | "thm1" -> fst (FR.run ?trace ?obs (FR.config ~eps ()) inst)
+      | "thm1-rule1" -> fst (FR.run ?trace ?obs (FR.config ~eps ~rule2:false ()) inst)
+      | "thm1-rule2" -> fst (FR.run ?trace ?obs (FR.config ~eps ~rule1:false ()) inst)
+      | "fifo" ->
+          Sched_sim.Driver.run_schedule ?trace ?obs Sched_baselines.Greedy_dispatch.fifo inst
+      | "spt" -> Sched_sim.Driver.run_schedule ?trace ?obs Sched_baselines.Greedy_dispatch.spt inst
       | "immediate" ->
-          Sched_sim.Driver.run_schedule
+          Sched_sim.Driver.run_schedule ?trace ?obs
             (Sched_baselines.Immediate_reject.policy ~eps
                (Sched_baselines.Immediate_reject.Largest_over 2.))
             inst
-      | "esa" -> Sched_baselines.Speed_augmented.run ~eps_s:0.5 ~eps_r:eps inst
+      | "esa" -> Sched_baselines.Speed_augmented.run ?trace ?obs ~eps_s:0.5 ~eps_r:eps inst
       | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
     in
+    let write_to target content =
+      match target with
+      | "-" -> print_string content
+      | path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+    in
+    (match (telemetry, obs) with
+    | Some target, Some o -> write_to target (Sched_obs.Export.json (Sched_obs.Obs.registry o))
+    | _ -> ());
+    (match (trace_ndjson, trace) with
+    | Some target, Some t -> write_to target (Sched_sim.Trace_export.to_ndjson t)
+    | _ -> ());
     Schedule.assert_valid ~check_deadlines:false schedule;
     let f = Metrics.flow schedule in
     let r = Metrics.rejection schedule in
@@ -162,7 +189,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ policy_arg $ workload_arg $ n_arg $ m_arg $ seed_arg $ eps_arg $ csv_arg
-      $ gantt_arg $ svg_arg $ load_arg $ swf_arg $ save_arg $ segments_arg $ sizes_arg)
+      $ gantt_arg $ svg_arg $ load_arg $ swf_arg $ save_arg $ segments_arg $ sizes_arg
+      $ telemetry_arg $ trace_ndjson_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one policy on one synthetic workload and print its metrics.") term
 
@@ -369,6 +397,13 @@ let list_cmd =
 let () =
   let doc = "Online non-preemptive scheduling with rejections (SPAA 2018 reproduction)." in
   let info = Cmd.info "rejsched" ~version:"1.0.0" ~doc in
+  (* Usage errors raised as Invalid_argument (unknown policy / workload,
+     ill-formed policy decisions surfaced by the driver) are user input
+     problems, not crashes: report on stderr and exit 2, no backtrace. *)
   exit
-    (Cmd.eval
-       (Cmd.group info [ run_cmd; experiment_cmd; adversary_cmd; bounds_cmd; gen_cmd; list_cmd ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info [ run_cmd; experiment_cmd; adversary_cmd; bounds_cmd; gen_cmd; list_cmd ])
+     with Invalid_argument msg ->
+       prerr_endline ("rejsched: " ^ msg);
+       2)

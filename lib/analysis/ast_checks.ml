@@ -1,4 +1,4 @@
-(* The parsetree rules (RJL001–RJL005).  Everything here is purely
+(* The parsetree rules (RJL001–RJL005, RJL007).  Everything here is purely
    syntactic: rejlint runs on unpreprocessed sources with
    [Parse.implementation], so it sees exactly what the developer wrote,
    before any type information exists.  That keeps the linter fast and
@@ -28,11 +28,24 @@ let loc_of (loc : Location.t) =
 let banned_nondet path =
   match path with
   | [ "Random"; "self_init" ] -> Some "Random.self_init seeds from the environment"
-  | [ "Sys"; "time" ] -> Some "Sys.time reads the process clock"
   | "Unix" :: _ -> Some "Unix.* reaches outside the simulation"
   | [ "Hashtbl"; "iter" ] | [ "Hashtbl"; "fold" ] ->
       Some "Hashtbl iteration order depends on hashing/insertion history"
   | [ "Hashtbl"; "hash" ] -> Some "Hashtbl.hash-keyed logic is representation-dependent"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* RJL007: wall-clock/monotonic time reads, allowed only in the
+   telemetry clock module.  Checked before RJL001 so that the clock
+   paths that are also Unix.* report as the more specific rule. *)
+
+let banned_wallclock path =
+  match path with
+  | [ "Sys"; "time" ] -> Some "Sys.time reads the process clock"
+  | [ "Unix"; ("gettimeofday" | "time" | "times") ] ->
+      Some (String.concat "." path ^ " reads the wall clock")
+  | ("Mtime" | "Mtime_clock") :: _ ->
+      Some (String.concat "." path ^ " reads the monotonic clock")
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -224,11 +237,17 @@ let check ~(scope : Scope.t) ~file (str : structure) =
     | Pexp_ident { txt; loc } ->
         let path = path_of txt in
         (if in_lib then
-           match banned_nondet path with
+           match banned_wallclock path with
            | Some why ->
-               add ~rule:Rule.Nondet_source ~loc
-                 (Printf.sprintf "%s: %s" (String.concat "." (flatten txt)) why)
-           | None -> ());
+               if not (Scope.clock scope) then
+                 add ~rule:Rule.Wall_clock ~loc
+                   (Printf.sprintf "%s: %s; take an Obs.Clock.t instead" (String.concat "." (flatten txt)) why)
+           | None -> (
+               match banned_nondet path with
+               | Some why ->
+                   add ~rule:Rule.Nondet_source ~loc
+                     (Printf.sprintf "%s: %s" (String.concat "." (flatten txt)) why)
+               | None -> ()));
         if not io_allowed then begin
           match banned_io path with
           | Some why -> add ~rule:Rule.Stray_io ~loc why

@@ -1,4 +1,4 @@
-(** The parsetree rule pass (RJL001–RJL005).
+(** The parsetree rule pass (RJL001–RJL005, RJL007).
 
     Purely syntactic — rejlint parses unpreprocessed sources, so the
     checks are conservative approximations chosen so that a clean report
@@ -7,6 +7,6 @@
     paths (with [Stdlib.] prefixes normalized away). *)
 
 val check : scope:Scope.t -> file:string -> Parsetree.structure -> Finding.t list
-(** Run RJL001–RJL005 over one parsed implementation.  Which rules fire
-    depends on [scope]; suppression comments are applied by the caller
-    (see {!Lint}). *)
+(** Run RJL001–RJL005 and RJL007 over one parsed implementation.  Which
+    rules fire depends on [scope]; suppression comments are applied by the
+    caller (see {!Lint}). *)

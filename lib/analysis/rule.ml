@@ -6,6 +6,7 @@ type id =
   | Global_mutable
   | Stray_io
   | Missing_mli
+  | Wall_clock
 
 type severity = Error | Warning
 
@@ -18,6 +19,7 @@ let all =
     Global_mutable;
     Stray_io;
     Missing_mli;
+    Wall_clock;
   ]
 
 let to_string = function
@@ -28,6 +30,7 @@ let to_string = function
   | Global_mutable -> "global-mutable"
   | Stray_io -> "stray-io"
   | Missing_mli -> "missing-mli"
+  | Wall_clock -> "wall-clock"
 
 let code = function
   | Parse_error -> "RJL000"
@@ -37,6 +40,7 @@ let code = function
   | Global_mutable -> "RJL004"
   | Stray_io -> "RJL005"
   | Missing_mli -> "RJL006"
+  | Wall_clock -> "RJL007"
 
 let of_string s =
   let rec find = function
@@ -48,7 +52,7 @@ let of_string s =
 let describe = function
   | Parse_error -> "file does not parse with the project compiler"
   | Nondet_source ->
-      "nondeterminism source (Random.self_init, Sys.time, Unix.*, Hashtbl.iter/fold/hash) in lib/"
+      "nondeterminism source (Random.self_init, Unix.*, Hashtbl.iter/fold/hash) in lib/"
   | Poly_compare ->
       "bare polymorphic compare/(=)/(<) in a comparator passed to a sort; use Float.compare/Int.compare"
   | Unstable_sort ->
@@ -56,6 +60,9 @@ let describe = function
   | Global_mutable -> "toplevel mutable state (ref/array/table) in a policy module"
   | Stray_io -> "direct console I/O outside bin/, bench/ and the stats display modules"
   | Missing_mli -> "lib/ module without a .mli interface"
+  | Wall_clock ->
+      "wall-clock/monotonic time read (Sys.time, Unix.gettimeofday/time/times, Mtime*) in lib/ \
+       outside Obs.Clock"
 
 (* Rule ids are ordered by their catalog position so reports are stable. *)
 let index r =

@@ -12,6 +12,9 @@ type id =
   | Global_mutable  (** RJL004: toplevel mutable state in a policy module. *)
   | Stray_io  (** RJL005: console I/O outside the display/driver layers. *)
   | Missing_mli  (** RJL006: [lib/] module without an interface. *)
+  | Wall_clock
+      (** RJL007: wall-clock/monotonic time read in [lib/] outside the
+          telemetry clock module ([lib/obs/clock.ml]). *)
 
 type severity = Error | Warning
 

@@ -1,16 +1,22 @@
 type kind = Lib | Bin | Bench | Test | Examples | Other
 
-type t = { kind : kind; policy : bool; display : bool }
+type t = { kind : kind; policy : bool; display : bool; clock : bool }
 
-let make ?(policy = false) ?(display = false) kind = { kind; policy; display }
+let make ?(policy = false) ?(display = false) ?(clock = false) kind =
+  { kind; policy; display; clock }
 
 let kind t = t.kind
 let policy t = t.policy
 let display t = t.display
+let clock t = t.clock
 
 (* The stats display modules are the one place in lib/ allowed to talk to
    the console (they exist to render tables and charts for humans). *)
 let display_modules = [ "lib/stats/table.ml"; "lib/stats/chart.ml" ]
+
+(* The telemetry clock module is the one place in lib/ allowed to read
+   wall/monotonic time (RJL007); everything else must take a Clock.t. *)
+let clock_modules = [ "lib/obs/clock.ml" ]
 
 let normalize path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in
@@ -27,7 +33,8 @@ let classify path =
   if has_prefix ~prefix:"lib/" p then
     let policy = has_prefix ~prefix:"lib/core/" p || has_prefix ~prefix:"lib/baselines/" p in
     let display = List.mem p display_modules in
-    { kind = Lib; policy; display }
+    let clock = List.mem p clock_modules in
+    { kind = Lib; policy; display; clock }
   else if has_prefix ~prefix:"bin/" p then make Bin
   else if has_prefix ~prefix:"bench/" p then make Bench
   else if has_prefix ~prefix:"test/" p then make Test
@@ -38,6 +45,7 @@ let of_string = function
   | "lib" -> Some (make Lib)
   | "policy" -> Some (make Lib ~policy:true)
   | "display" -> Some (make Lib ~display:true)
+  | "clock" -> Some (make Lib ~clock:true)
   | "bin" -> Some (make Bin)
   | "bench" -> Some (make Bench)
   | "test" -> Some (make Test)

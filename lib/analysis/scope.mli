@@ -6,7 +6,7 @@ type kind = Lib | Bin | Bench | Test | Examples | Other
 
 type t
 
-val make : ?policy:bool -> ?display:bool -> kind -> t
+val make : ?policy:bool -> ?display:bool -> ?clock:bool -> kind -> t
 
 val kind : t -> kind
 
@@ -18,9 +18,14 @@ val display : t -> bool
 (** The stats display modules ([lib/stats/table.ml], [lib/stats/chart.ml])
     are exempt from the I/O rule. *)
 
+val clock : t -> bool
+(** The telemetry clock module ([lib/obs/clock.ml]) is exempt from the
+    wall-clock rule (RJL007) — it exists to encapsulate exactly those
+    reads. *)
+
 val classify : string -> t
 (** Classify a repo-relative path ("lib/model/schedule.ml"). *)
 
 val of_string : string -> t option
-(** Parse a [--scope] CLI value: lib | policy | display | bin | bench |
-    test | examples | auto. *)
+(** Parse a [--scope] CLI value: lib | policy | display | clock | bin |
+    bench | test | examples | auto. *)

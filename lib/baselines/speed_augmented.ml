@@ -12,8 +12,8 @@ let speedup_instance factor instance =
     ~name:(Printf.sprintf "%s(+speed %g)" instance.Instance.name factor)
     ~machines ~jobs ()
 
-let run ?trace ~eps_s ~eps_r instance =
+let run ?trace ?obs ~eps_s ~eps_r instance =
   if eps_s <= 0. then invalid_arg "Speed_augmented.run: eps_s must be positive";
   let fast = speedup_instance (1. +. eps_s) instance in
   let cfg = Rejection.Flow_reject.config ~rule1:true ~rule2:false ~eps:eps_r () in
-  fst (Rejection.Flow_reject.run ?trace cfg fast)
+  fst (Rejection.Flow_reject.run ?trace ?obs cfg fast)

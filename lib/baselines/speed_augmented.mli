@@ -15,7 +15,7 @@ open Sched_model
 open Sched_sim
 
 val run :
-  ?trace:Trace.t -> eps_s:float -> eps_r:float -> Instance.t -> Schedule.t
+  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> eps_s:float -> eps_r:float -> Instance.t -> Schedule.t
 (** The returned schedule's instance is the sped-up copy; its job ids and
     releases match the original, so flow metrics are directly
     comparable. *)

@@ -135,4 +135,4 @@ let effective_eps st = st.eps_eff
 let rule1_rejections st = st.rej1
 let rule2_rejections st = st.rej2
 
-let run ?trace cfg instance = Driver.run ?trace (policy cfg) instance
+let run ?trace ?obs cfg instance = Driver.run ?trace ?obs (policy cfg) instance

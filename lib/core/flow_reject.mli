@@ -64,5 +64,6 @@ val rule1_rejections : state -> int
 val rule2_rejections : state -> int
 
 val run :
-  ?trace:Trace.t -> config -> Instance.t -> Schedule.t * state
-(** Convenience: build the policy and run it. *)
+  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> config -> Instance.t -> Schedule.t * state
+(** Convenience: build the policy and run it ([?obs] as in
+    {!Sched_sim.Driver.run}). *)

@@ -11,8 +11,8 @@ let mean = function
   | [] -> invalid_arg "Exp_util.mean: empty"
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
-let run_policy policy instance =
-  let schedule = Driver.run_schedule policy instance in
+let run_policy ?obs policy instance =
+  let schedule = Driver.run_schedule ?obs policy instance in
   Schedule.assert_valid ~check_deadlines:false schedule;
   schedule
 

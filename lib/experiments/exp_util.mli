@@ -16,9 +16,9 @@ val scale : quick:bool -> int -> int
 
 val mean : float list -> float
 
-val run_policy : 'a Driver.policy -> Instance.t -> Schedule.t
+val run_policy : ?obs:Sched_obs.Obs.t -> 'a Driver.policy -> Instance.t -> Schedule.t
 (** Runs and validates (deadlines not enforced — flow instances may carry
-    none). *)
+    none).  [?obs] as in {!Sched_sim.Driver.run}. *)
 
 type flow_measurement = {
   completed_flow : float;

@@ -1,0 +1,35 @@
+(* The single module in lib/ allowed to read wall-clock time: rejlint rule
+   RJL007 allowlists exactly this file and flags every other reference.
+   Everything downstream receives a [t] value, so tests substitute
+   deterministic clocks and simulated decisions never depend on real time. *)
+
+type t = unit -> float
+
+let wall : t = Unix.gettimeofday
+
+let monotonic () : t =
+  (* gettimeofday can step backwards (NTP); clamp so span durations are
+     never negative. *)
+  let last = ref neg_infinity in
+  fun () ->
+    let t = wall () in
+    if t > !last then last := t;
+    !last
+
+let frozen v : t = fun () -> v
+
+let ticker ?(start = 0.) ?(step = 1.) () : t =
+  let now = ref start in
+  fun () ->
+    let v = !now in
+    now := v +. step;
+    v
+
+let calls (clock : t) =
+  let n = ref 0 in
+  let wrapped : t =
+    fun () ->
+      incr n;
+      clock ()
+  in
+  (wrapped, fun () -> !n)

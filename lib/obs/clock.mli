@@ -1,0 +1,30 @@
+(** Wall-clock access for the telemetry layer.
+
+    This module is the {e only} place in [lib/] permitted to touch real
+    time (rejlint rule RJL007 allowlists [lib/obs/clock.ml] and flags
+    every other reference).  Scheduling code never reads a clock: spans
+    are report-layer measurements, and all deterministic consumers use
+    {!frozen} or {!ticker} substitutes. *)
+
+type t = unit -> float
+(** A clock is just a function returning seconds.  The unit of the epoch
+    is irrelevant: only differences are ever reported. *)
+
+val wall : t
+(** Real wall-clock time ([Unix.gettimeofday]).  Not monotonic. *)
+
+val monotonic : unit -> t
+(** {!wall} clamped to be non-decreasing, so span durations are never
+    negative even across NTP steps.  Each call creates an independent
+    clamp state. *)
+
+val frozen : float -> t
+(** Always returns the given instant — spans measure zero. *)
+
+val ticker : ?start:float -> ?step:float -> unit -> t
+(** Deterministic fake: returns [start], [start +. step], ... on
+    successive calls (defaults 0 and 1).  Test clockwork. *)
+
+val calls : t -> t * (unit -> int)
+(** [calls c] wraps [c] with an invocation counter — used to prove the
+    {!Sink.null} sink never consults the clock. *)

@@ -1,0 +1,70 @@
+(* Instrument cells.  Each instrument is a bare mutable record so the hot
+   path pays one field write per event — no lookup, no allocation.  The
+   registry (Registry) owns naming and iteration order; instruments
+   themselves are anonymous. *)
+
+module Counter = struct
+  type t = { mutable value : float }
+
+  let make () = { value = 0. }
+  let value c = c.value
+  let inc c = c.value <- c.value +. 1.
+
+  let add c x =
+    if x < 0. || Float.is_nan x then
+      invalid_arg (Printf.sprintf "Obs.Counter.add: increment %g is not >= 0" x);
+    c.value <- c.value +. x
+end
+
+module Gauge = struct
+  type t = { mutable value : float }
+
+  let make () = { value = 0. }
+  let value g = g.value
+  let set g x = g.value <- x
+  let add g x = g.value <- g.value +. x
+  let inc g = add g 1.
+  let dec g = add g (-1.)
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* Strictly increasing upper bounds. *)
+    counts : int array;  (* Per bucket; last slot is the +inf overflow. *)
+    mutable sum : float;
+    mutable count : int;
+  }
+
+  let make ~buckets =
+    let bounds = Array.of_list buckets in
+    let n = Array.length bounds in
+    if n = 0 then invalid_arg "Obs.Histogram.make: no buckets";
+    for k = 0 to n - 1 do
+      if Float.is_nan bounds.(k) || (k > 0 && not (bounds.(k) > bounds.(k - 1))) then
+        invalid_arg "Obs.Histogram.make: bucket bounds must be strictly increasing"
+    done;
+    { bounds; counts = Array.make (n + 1) 0; sum = 0.; count = 0 }
+
+  let observe h x =
+    let n = Array.length h.bounds in
+    let k = ref 0 in
+    (* NaN lands in the overflow bucket and is kept out of [sum], so one
+       bad observation cannot poison the aggregate. *)
+    if Float.is_nan x then k := n
+    else begin
+      while !k < n && x > h.bounds.(!k) do incr k done;
+      h.sum <- h.sum +. x
+    end;
+    h.counts.(!k) <- h.counts.(!k) + 1;
+    h.count <- h.count + 1
+
+  let count h = h.count
+  let sum h = h.sum
+  let bounds h = Array.to_list h.bounds
+
+  let cumulative h =
+    let acc = ref 0 in
+    let cum = Array.map (fun c -> acc := !acc + c; !acc) h.counts in
+    List.init (Array.length h.bounds) (fun k -> (h.bounds.(k), cum.(k)))
+    @ [ (Float.infinity, cum.(Array.length cum - 1)) ]
+end

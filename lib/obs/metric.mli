@@ -1,0 +1,55 @@
+(** Telemetry instruments: typed counters, gauges and fixed-bucket
+    histograms.
+
+    Each instrument is an anonymous mutable cell; recording is O(1)
+    (O(#buckets) for histograms, with the bucket list fixed at creation)
+    and never allocates.  Create instruments through {!Registry} so they
+    participate in export; the constructors here exist for tests and for
+    ad-hoc unregistered use. *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val value : t -> float
+  val inc : t -> unit
+
+  val add : t -> float -> unit
+  (** Counters are monotone: a negative or NaN increment raises
+      [Invalid_argument]. *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val value : t -> float
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val inc : t -> unit
+  val dec : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val make : buckets:float list -> t
+  (** [buckets] are upper bounds, strictly increasing, non-empty; an
+      implicit [+inf] overflow bucket is appended.  Raises
+      [Invalid_argument] otherwise. *)
+
+  val observe : t -> float -> unit
+  (** A value [x] lands in the first bucket with [x <= bound] (Prometheus
+      [le] semantics); NaN lands in the overflow bucket and is excluded
+      from {!sum}. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val bounds : t -> float list
+  (** The creation-time upper bounds (without the implicit [+inf]). *)
+
+  val cumulative : t -> (float * int) list
+  (** Prometheus-style cumulative [(le, count)] pairs, ending with the
+      [+inf] bucket whose count equals {!count}. *)
+end

@@ -1,0 +1,57 @@
+(* JSON primitives shared by the exporters, plus the NDJSON record
+   builder.  Output is deterministic: fields are emitted in the order
+   given, floats use the shortest round-tripping representation, and
+   non-finite floats (invalid in JSON) become null. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v <= 1e15 then Printf.sprintf "%.0f" v
+  else begin
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+  end
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let value_to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float v -> float_repr v
+  | String s -> "\"" ^ escape s ^ "\""
+
+let obj fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun k (name, v) ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape name);
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf (value_to_string v))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let line ~schema fields = obj (("schema", String schema) :: fields)

@@ -1,0 +1,29 @@
+(** Newline-delimited JSON records with a schema tag, plus the JSON
+    primitives the other exporters share.
+
+    Every record is a single-line JSON object whose first field is
+    ["schema"] — a versioned tag like ["rejsched.trace/1"] — so stream
+    consumers can dispatch without peeking at the rest of the record. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats are emitted as [null]. *)
+  | String of string
+
+val obj : (string * value) list -> string
+(** One JSON object on one line, fields in the given order, no trailing
+    newline. *)
+
+val line : schema:string -> (string * value) list -> string
+(** {!obj} with [("schema", String schema)] prepended. *)
+
+val escape : string -> string
+(** JSON string-body escaping. *)
+
+val float_repr : float -> string
+(** Shortest round-tripping decimal; integral values print without a
+    fraction; non-finite values print as [null]. *)
+
+val value_to_string : value -> string

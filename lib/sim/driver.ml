@@ -132,6 +132,20 @@ type accum = {
 
 type location = Unreleased | Pending of Machine.id | Running of Machine.id | Settled
 
+(* Pre-resolved instrument cells: the hot path pays one mutable-field
+   write per event, never a registry lookup. *)
+type instr = {
+  i_sink : Sched_obs.Sink.t;
+  c_dispatch : Sched_obs.Metric.Counter.t;
+  c_start : Sched_obs.Metric.Counter.t;
+  c_complete : Sched_obs.Metric.Counter.t;
+  c_reject : Sched_obs.Metric.Counter.t;
+  c_reject_midrun : Sched_obs.Metric.Counter.t;
+  c_restart : Sched_obs.Metric.Counter.t;
+  g_pending : Sched_obs.Metric.Gauge.t array;
+  g_inflight : Sched_obs.Metric.Gauge.t array;
+}
+
 type state = {
   instance : Instance.t;
   machines : machine_state array;
@@ -139,6 +153,7 @@ type state = {
   mutable clock : Time.t;
   builder : Schedule.builder;
   trace : Trace.t option;
+  instr : instr option;
   acc : accum;
   total_weight : float;
 }
@@ -231,12 +246,55 @@ let tag_arrival seq = (1 lsl 40) + seq
 
 let record st ev = match st.trace with None -> () | Some tr -> Trace.record tr st.clock ev
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry.  When a [Sched_obs.Obs.t] handle is supplied, the driver
+   mirrors every trace-worthy event into counters and per-machine gauges
+   and times its phases through the handle's sink.  Everything here is
+   strictly observational: no value computed below ever flows back into a
+   decision, so schedules are byte-identical with telemetry on or off
+   (pinned by the differential tests). *)
+
+let phase_on_arrival = "on_arrival"
+let phase_select = "select"
+let phase_segment = "segment"
+let phase_heap = "heap"
+
+let make_instr obs m =
+  let reg = Sched_obs.Obs.registry obs in
+  let machine_gauge name help =
+    Array.init m (fun i ->
+        Sched_obs.Registry.gauge reg ~help ~labels:[ ("machine", string_of_int i) ] name)
+  in
+  {
+    i_sink = Sched_obs.Obs.sink obs;
+    c_dispatch =
+      Sched_obs.Registry.counter reg ~help:"Jobs dispatched to a machine" "sched_dispatch_total";
+    c_start = Sched_obs.Registry.counter reg ~help:"Job executions started" "sched_start_total";
+    c_complete = Sched_obs.Registry.counter reg ~help:"Jobs completed" "sched_complete_total";
+    c_reject = Sched_obs.Registry.counter reg ~help:"Jobs rejected" "sched_reject_total";
+    c_reject_midrun =
+      Sched_obs.Registry.counter reg ~help:"Rejections that interrupted a running job"
+        "sched_reject_midrun_total";
+    c_restart =
+      Sched_obs.Registry.counter reg ~help:"Running jobs killed and requeued"
+        "sched_restart_total";
+    g_pending = machine_gauge "sched_pending_jobs" "Dispatched and released, not yet started";
+    g_inflight =
+      machine_gauge "sched_inflight_jobs" "Dispatched, not yet completed or rejected";
+  }
+
 (* Lay down a segment and fold it into the incremental metrics. *)
-let lay_segment st (seg : Schedule.segment) =
+let lay_segment_raw st (seg : Schedule.segment) =
   Schedule.add_segment st.builder seg;
   let alpha = (Instance.machine st.instance seg.machine).Machine.alpha in
   st.acc.a_energy <- st.acc.a_energy +. ((seg.stop -. seg.start) *. (seg.speed ** alpha));
   if seg.stop > st.acc.a_makespan then st.acc.a_makespan <- seg.stop
+
+let lay_segment st seg =
+  match st.instr with
+  | None -> lay_segment_raw st seg
+  | Some ins ->
+      Sched_obs.Sink.time ins.i_sink phase_segment (fun () -> lay_segment_raw st seg)
 
 let account_completion st (j : Job.t) finish =
   let a = st.acc in
@@ -269,6 +327,12 @@ let reject_job st id =
       let j = remove_pending st i id in
       st.loc.(id) <- Settled;
       record st (Trace.Reject { job = id; machine = i; was_running = false; remaining = Job.size j i });
+      (match st.instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_reject;
+          Sched_obs.Metric.Gauge.dec ins.g_pending.(i);
+          Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running = false });
       account_rejection st j t ~was_running:false;
@@ -286,6 +350,12 @@ let reject_job st id =
           { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
       let remaining = Float.max 0. ((r.finish -. t) *. r.rate) in
       record st (Trace.Reject { job = id; machine = i; was_running; remaining });
+      (match st.instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_reject;
+          if was_running then Sched_obs.Metric.Counter.inc ins.c_reject_midrun;
+          Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running });
       account_rejection st r.job t ~was_running;
@@ -309,6 +379,11 @@ let restart_job st id =
           { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
       let wasted = Float.max 0. ((t -. r.started) *. r.rate) in
       record st (Trace.Restart { job = id; machine = i; wasted });
+      (match st.instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_restart;
+          Sched_obs.Metric.Gauge.inc ins.g_pending.(i));
       pend_add ms.m_pend i r.job;
       st.loc.(id) <- Pending i;
       i
@@ -321,7 +396,13 @@ let try_start st queue seq policy pstate i =
   | Some _ -> ()
   | None ->
       if pend_count ms.m_pend > 0 then begin
-        match policy.select pstate st i with
+        let choice =
+          match st.instr with
+          | None -> policy.select pstate st i
+          | Some ins ->
+              Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate st i)
+        in
+        match choice with
         | None -> ()
         | Some { job; speed } ->
             if speed <= 0. || not (Float.is_finite speed) then
@@ -339,11 +420,16 @@ let try_start st queue seq policy pstate i =
             ms.m_running <- Some { job = j; started = st.clock; rate; finish };
             st.loc.(job) <- Running i;
             record st (Trace.Start { job; machine = i; speed = rate });
+            (match st.instr with
+            | None -> ()
+            | Some ins ->
+                Sched_obs.Metric.Counter.inc ins.c_start;
+                Sched_obs.Metric.Gauge.dec ins.g_pending.(i));
             incr seq;
             Pqueue.push queue ~key:finish ~tag:(tag_finish !seq) (Finish (i, ms.m_epoch))
       end
 
-let run_state ?trace policy instance =
+let run_state ?trace ?obs policy instance =
   let m = Instance.m instance in
   let st =
     {
@@ -354,6 +440,7 @@ let run_state ?trace policy instance =
       clock = 0.;
       builder = Schedule.builder instance;
       trace;
+      instr = (match obs with None -> None | Some o -> Some (make_instr o m));
       acc =
         {
           a_completed = 0;
@@ -380,8 +467,14 @@ let run_state ?trace policy instance =
       incr seq;
       Pqueue.push queue ~key:j.release ~tag:(tag_arrival !seq) (Arrival j))
     (Instance.jobs_by_release instance);
+  let pop =
+    match st.instr with
+    | None -> fun () -> Pqueue.pop queue
+    | Some ins ->
+        fun () -> Sched_obs.Sink.time ins.i_sink phase_heap (fun () -> Pqueue.pop queue)
+  in
   let rec loop () =
-    match Pqueue.pop queue with
+    match pop () with
     | None -> ()
     | Some (time, _, ev) ->
         st.clock <- Float.max st.clock time;
@@ -399,10 +492,21 @@ let run_state ?trace policy instance =
                 account_completion st r.job r.finish;
                 st.loc.(id) <- Settled;
                 record st (Trace.Complete { job = id; machine = i });
+                (match st.instr with
+                | None -> ()
+                | Some ins ->
+                    Sched_obs.Metric.Counter.inc ins.c_complete;
+                    Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
                 try_start st queue seq policy pstate i
             | _ -> () (* Stale event: the job was rejected mid-run. *))
         | Arrival j ->
-            let decision = policy.on_arrival pstate st j in
+            let decision =
+              match st.instr with
+              | None -> policy.on_arrival pstate st j
+              | Some ins ->
+                  Sched_obs.Sink.time ins.i_sink phase_on_arrival (fun () ->
+                      policy.on_arrival pstate st j)
+            in
             let i = decision.dispatch_to in
             if i < 0 || i >= m then
               invalid_arg (Printf.sprintf "Driver: policy %s dispatched to machine %d" policy.name i);
@@ -413,6 +517,12 @@ let run_state ?trace policy instance =
             pend_add st.machines.(i).m_pend i j;
             st.loc.(j.id) <- Pending i;
             record st (Trace.Dispatch { job = j.id; machine = i });
+            (match st.instr with
+            | None -> ()
+            | Some ins ->
+                Sched_obs.Metric.Counter.inc ins.c_dispatch;
+                Sched_obs.Metric.Gauge.inc ins.g_pending.(i);
+                Sched_obs.Metric.Gauge.inc ins.g_inflight.(i));
             let touched = List.map (reject_job st) decision.reject in
             let touched = touched @ List.map (restart_job st) decision.restart in
             List.iter (try_start st queue seq policy pstate) (List.sort_uniq Int.compare (i :: touched)));
@@ -429,12 +539,12 @@ let run_state ?trace policy instance =
     st.machines;
   (Schedule.finalize st.builder, pstate, st)
 
-let run ?trace policy instance =
-  let schedule, pstate, _ = run_state ?trace policy instance in
+let run ?trace ?obs policy instance =
+  let schedule, pstate, _ = run_state ?trace ?obs policy instance in
   (schedule, pstate)
 
-let run_live ?trace policy instance =
-  let schedule, pstate, st = run_state ?trace policy instance in
+let run_live ?trace ?obs policy instance =
+  let schedule, pstate, st = run_state ?trace ?obs policy instance in
   (schedule, pstate, live st)
 
-let run_schedule ?trace policy instance = fst (run ?trace policy instance)
+let run_schedule ?trace ?obs policy instance = fst (run ?trace ?obs policy instance)

@@ -141,17 +141,38 @@ type 'a policy = {
           and the speed positive. *)
 }
 
-(** {1 Running} *)
+(** {1 Running}
 
-val run : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t * 'a
+    {b Telemetry.}  Passing [?obs] (a {!Sched_obs.Obs.t}) makes the driver
+    record, into the handle's registry:
+
+    - counters [sched_dispatch_total], [sched_start_total],
+      [sched_complete_total], [sched_reject_total],
+      [sched_reject_midrun_total], [sched_restart_total] — incremented at
+      exactly the sites that emit the corresponding {!Trace} events, so they
+      reconcile with the trace and with {!Sched_model.Metrics.rejection};
+    - gauges [sched_pending_jobs{machine="i"}] (dispatched, not yet started
+      or rejected; restarts re-enter) and [sched_inflight_jobs{machine="i"}]
+      (dispatched, not yet completed or rejected);
+    - when the handle's sink aggregates spans ({!Sched_obs.Obs.timed}), a
+      duration histogram [obs_phase_seconds{phase=...}] over phases
+      [on_arrival], [select], [segment] and [heap].
+
+    Telemetry is strictly observational: the schedule, policy state and
+    trace are byte-identical with and without [?obs] (pinned by the
+    differential tests), and the default {!Sched_obs.Sink.null} sink never
+    reads a clock. *)
+
+val run : ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t * 'a
 (** Simulates the policy on the instance.  Raises [Invalid_argument] on an
     ill-formed policy decision (dispatch to an ineligible machine, rejecting
     an unknown job, starting a non-pending job, non-positive speed).  The
     returned ['a] is the policy's final state, which instrumented policies
     use to expose analysis data (e.g. the dual variables of Lemma 4). *)
 
-val run_live : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t * 'a * live_metrics
+val run_live :
+  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t * 'a * live_metrics
 (** [run] additionally returning the final incremental-metrics snapshot. *)
 
-val run_schedule : ?trace:Trace.t -> 'a policy -> Instance.t -> Schedule.t
+val run_schedule : ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t
 (** [run] dropping the policy state. *)

@@ -20,22 +20,35 @@ let record t time event =
 let events t = List.rev t.rev
 let length t = t.len
 
-let queue_profile t ~machines =
+(* Shared step-function builder: [delta] maps an event to [Some (machine, +-1)]
+   when it moves the tracked population, [None] otherwise. *)
+let profile t ~machines ~delta =
   let profiles = Array.make machines [] in
   let counts = Array.make machines 0 in
   List.iter
     (fun { time; event } ->
-      let bump i delta =
-        counts.(i) <- counts.(i) + delta;
-        profiles.(i) <- (time, counts.(i)) :: profiles.(i)
-      in
-      match event with
-      | Dispatch { machine; _ } -> bump machine 1
-      | Complete { machine; _ } -> bump machine (-1)
-      | Reject { machine; _ } -> bump machine (-1)
-      | Start _ | Restart _ -> ())
+      match delta event with
+      | None -> ()
+      | Some (i, d) ->
+          counts.(i) <- counts.(i) + d;
+          profiles.(i) <- (time, counts.(i)) :: profiles.(i))
     (events t);
   List.init machines (fun i -> (i, List.rev profiles.(i)))
+
+let queue_profile t ~machines =
+  profile t ~machines ~delta:(function
+    | Dispatch { machine; _ } -> Some (machine, 1)
+    | Complete { machine; _ } -> Some (machine, -1)
+    | Reject { machine; _ } -> Some (machine, -1)
+    | Start _ | Restart _ -> None)
+
+let pending_profile t ~machines =
+  profile t ~machines ~delta:(function
+    | Dispatch { machine; _ } -> Some (machine, 1)
+    | Start { machine; _ } -> Some (machine, -1)
+    | Restart { machine; _ } -> Some (machine, 1)
+    | Reject { machine; was_running = false; _ } -> Some (machine, -1)
+    | Reject { was_running = true; _ } | Complete _ -> None)
 
 let pp_entry ppf { time; event } =
   match event with

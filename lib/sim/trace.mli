@@ -41,4 +41,11 @@ val queue_profile : t -> machines:int -> (Machine.id * (Time.t * int) list) list
     completed or rejected): a list of [(time, new value)] changes, starting
     implicitly from 0. *)
 
+val pending_profile : t -> machines:int -> (Machine.id * (Time.t * int) list) list
+(** Per machine, the step function of the {e pending} population
+    (dispatched, not yet started): +1 on [Dispatch], -1 on [Start], -1 on a
+    pending-state [Reject], and +1 again on [Restart] (the killed job
+    re-enters the queue).  A mid-run [Reject] and a [Complete] leave it
+    unchanged — the job already left the pending set at its [Start]. *)
+
 val pp_entry : Format.formatter -> entry -> unit

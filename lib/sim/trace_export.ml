@@ -1,0 +1,46 @@
+(* NDJSON rendering of a trace: one schema-versioned JSON object per event,
+   in chronological order.  Pure string production — callers own the I/O. *)
+
+module J = Sched_obs.Ndjson
+
+let schema = "rejsched.trace/1"
+
+let event_fields : Trace.event -> (string * J.value) list = function
+  | Trace.Dispatch { job; machine } ->
+      [ ("event", J.String "dispatch"); ("job", J.Int job); ("machine", J.Int machine) ]
+  | Trace.Start { job; machine; speed } ->
+      [
+        ("event", J.String "start");
+        ("job", J.Int job);
+        ("machine", J.Int machine);
+        ("speed", J.Float speed);
+      ]
+  | Trace.Complete { job; machine } ->
+      [ ("event", J.String "complete"); ("job", J.Int job); ("machine", J.Int machine) ]
+  | Trace.Reject { job; machine; was_running; remaining } ->
+      [
+        ("event", J.String "reject");
+        ("job", J.Int job);
+        ("machine", J.Int machine);
+        ("was_running", J.Bool was_running);
+        ("remaining", J.Float remaining);
+      ]
+  | Trace.Restart { job; machine; wasted } ->
+      [
+        ("event", J.String "restart");
+        ("job", J.Int job);
+        ("machine", J.Int machine);
+        ("wasted", J.Float wasted);
+      ]
+
+let entry_line (en : Trace.entry) =
+  J.line ~schema (("time", J.Float en.time) :: event_fields en.event)
+
+let iter_lines t f = List.iter (fun en -> f (entry_line en)) (Trace.events t)
+
+let to_ndjson t =
+  let buf = Buffer.create 4096 in
+  iter_lines t (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

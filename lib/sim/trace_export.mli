@@ -1,0 +1,20 @@
+(** NDJSON export of a {!Trace.t}.
+
+    Each event becomes one JSON object per line, tagged with {!schema} so
+    downstream consumers can dispatch on record versions.  Floats use the
+    shortest round-tripping decimal form, so exports are deterministic and
+    byte-identical across equal traces. *)
+
+val schema : string
+(** Current record schema tag, ["rejsched.trace/1"].  Every emitted line
+    carries it as its ["schema"] field. *)
+
+val entry_line : Trace.entry -> string
+(** One event as a single JSON object (no trailing newline). *)
+
+val iter_lines : Trace.t -> (string -> unit) -> unit
+(** Streams {!entry_line} over the events in chronological order; the
+    callback owns the I/O (the library itself never writes). *)
+
+val to_ndjson : Trace.t -> string
+(** The whole trace, one line per event, each newline-terminated. *)

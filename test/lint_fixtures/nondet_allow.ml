@@ -4,7 +4,7 @@
 (* rejlint: allow nondet-source *)
 let seed () = Random.self_init ()
 
-let cpu () = Sys.time () (* rejlint: allow nondet-source *)
+let pid () = Unix.getpid () (* rejlint: allow nondet-source *)
 
 (* rejlint: allow RJL001 *)
 let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

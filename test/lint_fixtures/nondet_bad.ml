@@ -2,8 +2,8 @@
    under lib/ scope. *)
 
 let seed () = Random.self_init ()
-let cpu () = Sys.time ()
-let wall () = Unix.gettimeofday ()
+let pid () = Unix.getpid ()
+let env () = Unix.environment ()
 let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
 let dump tbl f = Hashtbl.iter f tbl
 let bucket x = Hashtbl.hash x mod 16

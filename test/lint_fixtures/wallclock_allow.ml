@@ -1,0 +1,7 @@
+(* Fixture: suppression comments silence RJL007 line by line. *)
+
+(* rejlint: allow wall-clock *)
+let cpu () = Sys.time ()
+
+let wall () = Unix.gettimeofday () (* rejlint: allow RJL007 *)
+let posix () = Unix.time () (* rejlint: allow all *)

@@ -1,0 +1,6 @@
+(* Fixture: every banned time source fires RJL007 when linted under lib/
+   scope (and is exempt under the clock scope). *)
+
+let cpu () = Sys.time ()
+let wall () = Unix.gettimeofday ()
+let posix () = Unix.time ()

@@ -1,0 +1,9 @@
+(* Fixture: clean lib/ module — time reaches it only through an injected
+   clock function, never a direct read. *)
+
+type clock = unit -> float
+
+let span (clock : clock) f =
+  let t0 = clock () in
+  let x = f () in
+  (x, clock () -. t0)

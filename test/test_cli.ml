@@ -1,0 +1,117 @@
+(* End-to-end tests of the rejsched executable: the telemetry/trace export
+   flags and the usage-error exit convention.
+
+   The binary is a declared test dependency, so it sits at ../bin/ relative
+   to the test cwd inside _build.  The reconciliation tests rerun the same
+   configuration in-process — generator, seed and policy are shared code,
+   so the CLI's exported counters and trace must match exactly. *)
+
+open Sched_model
+
+let exe = Filename.concat ".." (Filename.concat "bin" "rejsched.exe")
+
+let shell cmd =
+  match Sys.command cmd with
+  | code -> code
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let temp suffix = Filename.temp_file "rejsched_cli" suffix
+
+(* Pull a counter value out of the metrics JSON snapshot: find the entry
+   named [name] and return the integer after its "value": field. *)
+let counter_in_json json name =
+  let needle = Printf.sprintf "\"name\": \"%s\"" name in
+  let nlen = String.length needle and jlen = String.length json in
+  let rec find i =
+    if i + nlen > jlen then Alcotest.failf "counter %s not in snapshot" name
+    else if String.sub json i nlen = needle then i + nlen
+    else find (i + 1)
+  in
+  let from = find 0 in
+  let vneedle = "\"value\": " in
+  let vlen = String.length vneedle in
+  let rec vfind i =
+    if i + vlen > jlen then Alcotest.failf "no value for %s" name
+    else if String.sub json i vlen = vneedle then i + vlen
+    else vfind (i + 1)
+  in
+  let start = vfind from in
+  let rec stop k =
+    if k < jlen then match json.[k] with '0' .. '9' -> stop (k + 1) | _ -> k else k
+  in
+  int_of_string (String.sub json start (stop start - start))
+
+(* The CLI's thm1 run on the uniform workload, replayed in-process. *)
+let in_process ~n ~m ~seed ~eps =
+  let inst = Sched_workload.Gen.instance (Sched_workload.Suite.flow_uniform ~n ~m) ~seed in
+  let module FR = Rejection.Flow_reject in
+  let trace = Sched_sim.Trace.create () in
+  let s, _ = FR.run ~trace (FR.config ~eps ()) inst in
+  (s, trace)
+
+let test_unknown_policy_exits_2 () =
+  let err = temp ".txt" in
+  let code = shell (Printf.sprintf "%s run -p no-such-policy > /dev/null 2> %s" exe err) in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) "message on stderr" true
+    (Test_util.contains (read_file err) "unknown policy");
+  Sys.remove err
+
+let test_telemetry_reconciles_with_metrics () =
+  let tel = temp ".json" in
+  let code =
+    shell
+      (Printf.sprintf "%s run -p thm1 -w uniform -n 150 -m 3 --seed 42 --eps 0.25 --telemetry %s > /dev/null"
+         exe tel)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let json = read_file tel in
+  Sys.remove tel;
+  Alcotest.(check bool) "schema tagged" true (Test_util.contains json "rejsched.metrics/1");
+  let s, _ = in_process ~n:150 ~m:3 ~seed:42 ~eps:0.25 in
+  let r = Metrics.rejection s in
+  Alcotest.(check int) "dispatch = n" 150 (counter_in_json json "sched_dispatch_total");
+  Alcotest.(check int) "reject = Metrics.rejection.count" r.Metrics.count
+    (counter_in_json json "sched_reject_total");
+  Alcotest.(check int) "midrun = Metrics.rejection.mid_run" r.Metrics.mid_run
+    (counter_in_json json "sched_reject_midrun_total");
+  Alcotest.(check int) "complete + reject = n" 150
+    (counter_in_json json "sched_complete_total" + counter_in_json json "sched_reject_total")
+
+let test_telemetry_stdout () =
+  let out = temp ".txt" in
+  let code =
+    shell (Printf.sprintf "%s run -p spt -n 40 -m 2 --telemetry - > %s" exe out)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let text = read_file out in
+  Sys.remove out;
+  Alcotest.(check bool) "snapshot on stdout" true
+    (Test_util.contains text "\"schema\": \"rejsched.metrics/1\"");
+  Alcotest.(check bool) "counters present" true
+    (Test_util.contains text "sched_dispatch_total");
+  Alcotest.(check bool) "metrics table still printed" true
+    (Test_util.contains text "total flow (completed)")
+
+let test_trace_ndjson_matches_in_process () =
+  let path = temp ".ndjson" in
+  let code =
+    shell
+      (Printf.sprintf
+         "%s run -p thm1 -w uniform -n 80 -m 2 --seed 7 --eps 0.25 --trace-ndjson %s > /dev/null"
+         exe path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let cli = read_file path in
+  Sys.remove path;
+  let _, trace = in_process ~n:80 ~m:2 ~seed:7 ~eps:0.25 in
+  Alcotest.(check string) "byte-identical trace" (Sched_sim.Trace_export.to_ndjson trace) cli
+
+let suite =
+  [
+    Alcotest.test_case "unknown policy exits 2" `Quick test_unknown_policy_exits_2;
+    Alcotest.test_case "telemetry counters reconcile" `Quick test_telemetry_reconciles_with_metrics;
+    Alcotest.test_case "telemetry to stdout" `Quick test_telemetry_stdout;
+    Alcotest.test_case "trace ndjson matches in-process" `Quick test_trace_ndjson_matches_in_process;
+  ]

@@ -99,6 +99,30 @@ let test_io_ok () = Alcotest.(check int) "clean" 0 (List.length (lint "io_ok.ml"
 let test_io_allow () =
   Alcotest.(check int) "suppressed" 0 (List.length (lint "io_allow.ml"))
 
+let test_wallclock_bad () =
+  let fs = lint "wallclock_bad.ml" in
+  Alcotest.(check int) "findings" 3 (List.length fs);
+  check_all_rule RL.Rule.Wall_clock fs;
+  Alcotest.(check (list int)) "lines" [ 4; 5; 6 ] (lines fs)
+
+let test_wallclock_clock_scope () =
+  (* The clock scope (lib/obs/clock.ml) is the one lib/ module allowed to
+     read time directly — and the reads must not fall through to RJL001. *)
+  Alcotest.(check int) "clock scope" 0
+    (List.length (lint ~scope_name:"clock" "wallclock_bad.ml"))
+
+let test_wallclock_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint "wallclock_ok.ml"))
+
+let test_wallclock_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "wallclock_allow.ml"))
+
+let test_clock_module_classified () =
+  (* Path classification must allowlist exactly lib/obs/clock.ml. *)
+  Alcotest.(check bool) "clock.ml" true (RL.Scope.clock (RL.Scope.classify "lib/obs/clock.ml"));
+  Alcotest.(check bool) "sibling" false (RL.Scope.clock (RL.Scope.classify "lib/obs/sink.ml"));
+  Alcotest.(check bool) "driver" false (RL.Scope.clock (RL.Scope.classify "lib/sim/driver.ml"))
+
 let test_mli_coverage () =
   (* RJL006 is a directory-walk property: scan the mli/ fixture tree. *)
   let buf = Buffer.create 256 in
@@ -147,15 +171,24 @@ let test_parse_error () =
 
 let test_scope_gates_nondet () =
   (* Nondeterminism sources are banned in lib/, tolerated in test/. *)
-  let src = "let t () = Sys.time ()\n" in
+  let src = "let p () = Unix.getpid ()\n" in
   Alcotest.(check int) "lib" 1 (List.length (lint_src src));
   Alcotest.(check int) "test" 0 (List.length (lint_src ~scope_name:"test" src))
+
+let test_wallclock_beats_nondet () =
+  (* Unix.gettimeofday is both a Unix.* nondet source and a wall-clock
+     read; the more specific RJL007 wins. *)
+  let fs = lint_src "let t () = Unix.gettimeofday ()\n" in
+  Alcotest.(check (list string)) "rules" [ "wall-clock" ]
+    (List.map RL.Rule.to_string (rules fs))
 
 (* --- suppression semantics -------------------------------------------- *)
 
 let test_suppress_scope_lines () =
   let src =
-    "(* rejlint: allow nondet-source *)\nlet a () = Sys.time ()\nlet b () = Sys.time ()\n"
+    "(* rejlint: allow nondet-source *)\n\
+     let a () = Random.self_init ()\n\
+     let b () = Random.self_init ()\n"
   in
   let sup = RL.Suppress.scan src in
   Alcotest.(check bool) "line below" true
@@ -168,7 +201,7 @@ let test_suppress_scope_lines () =
   Alcotest.(check (list int)) "lines" [ 3 ] (lines (lint_src src))
 
 let test_suppress_code_synonym () =
-  let src = "let a () = Sys.time () (* rejlint: allow RJL001 *)\n" in
+  let src = "let a () = Random.self_init () (* rejlint: allow RJL001 *)\n" in
   Alcotest.(check int) "code synonym" 0 (List.length (lint_src src))
 
 let test_suppress_all () =
@@ -265,6 +298,12 @@ let suite =
     Alcotest.test_case "io: allowed in bin/display" `Quick test_io_ok_in_bin;
     Alcotest.test_case "io: clean fixture" `Quick test_io_ok;
     Alcotest.test_case "io: suppressed fixture" `Quick test_io_allow;
+    Alcotest.test_case "wallclock: fixture fires" `Quick test_wallclock_bad;
+    Alcotest.test_case "wallclock: clock scope exempt" `Quick test_wallclock_clock_scope;
+    Alcotest.test_case "wallclock: clean fixture" `Quick test_wallclock_ok;
+    Alcotest.test_case "wallclock: suppressed fixture" `Quick test_wallclock_allow;
+    Alcotest.test_case "wallclock: lib/obs/clock.ml allowlisted" `Quick test_clock_module_classified;
+    Alcotest.test_case "wallclock: more specific than nondet" `Quick test_wallclock_beats_nondet;
     Alcotest.test_case "mli: orphan flagged, covered clean" `Quick test_mli_coverage;
     Alcotest.test_case "polycmp: Stdlib. prefix normalized" `Quick test_stdlib_prefix_normalized;
     Alcotest.test_case "unstable: named comparator trusted" `Quick test_named_comparator_trusted;

@@ -32,4 +32,6 @@ let () =
       ("differential", Test_differential.suite);
       ("replay", Test_replay.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
+      ("cli", Test_cli.suite);
     ]
