@@ -9,15 +9,19 @@
    computation, plus a simulator-throughput benchmark (E10).
 
    Part 3 (selected with --regression, output file via --out, default
-   BENCH_pr3.json) is the regression harness behind `make bench-check`:
+   BENCH_pr4.json) is the regression harness behind `make bench-check`:
    it times the indexed driver fast path against the scan-based seed
    references on an overloaded instance — once bare and once with the
    telemetry layer recording — records end-to-end wall time and
-   sequential-vs-parallel scaling, embeds the telemetry counter snapshot,
-   writes the numbers to a JSON baseline, compares the throughput against
-   the newest previous BENCH_*.json, and exits non-zero if either
-   driver-event microbenchmark speedup (bare or telemetry-on) falls below
-   2x.
+   sequential-vs-parallel scaling, runs the experiment suite on domain
+   pools of increasing width (checking byte-identical tables and
+   telemetry at every width and recording the speedup curve), embeds the
+   telemetry counter snapshot, writes the numbers to a JSON baseline,
+   compares the throughput against the newest previous BENCH_*.json, and
+   exits non-zero if either driver-event microbenchmark speedup (bare or
+   telemetry-on) falls below 2x, if the width-1 pool costs more than 2x
+   sequential, or — on hosts with at least 4 cores — if 4 domains fail
+   to reach 2x over sequential.
 
    Run with: dune exec bench/main.exe
    (set REJSCHED_QUICK=1 for a fast smoke run) *)
@@ -36,7 +40,7 @@ let run_experiments () =
       Printf.printf "[%s] %s (reproduces: %s)\n" e.Sched_experiments.Registry.id
         e.Sched_experiments.Registry.title e.Sched_experiments.Registry.reproduces;
       List.iter Sched_stats.Table.print tables)
-    (Sched_experiments.Registry.run_all ~quick ())
+    (Sched_experiments.Registry.run_all ~quick ~pool:(Sched_stats.Pool.default ()) ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
@@ -328,9 +332,66 @@ let run_regression out_path =
       [ 1; 2; 4 ]
   in
 
+  (* 3e: domain-pool scaling on the experiment suite.  The suite is the
+     pool's real workload — run_all fans experiments out as tasks and
+     per-seed replication shares the same pool — so this is the scaling
+     curve the PR claims.  Every width must reproduce the sequential
+     tables and merged telemetry byte for byte; wall times go into the
+     JSON baseline. *)
+  let suite_ids = [ "e1"; "e2"; "e7"; "e13" ] in
+  let suite_csv tables =
+    String.concat ""
+      (List.concat_map (fun (_, ts) -> List.map Sched_stats.Table.to_csv ts) tables)
+  in
+  let sum_sched_counters registry =
+    List.fold_left
+      (fun acc e ->
+        match e.Sched_obs.Registry.instrument with
+        | Sched_obs.Registry.Counter c
+          when String.length e.Sched_obs.Registry.name >= 6
+               && String.sub e.Sched_obs.Registry.name 0 6 = "sched_" ->
+            acc +. Sched_obs.Metric.Counter.value c
+        | _ -> acc)
+      0.
+      (Sched_obs.Registry.entries registry)
+  in
+  let run_suite pool =
+    let registry = Sched_obs.Registry.create () in
+    let obs = Sched_obs.Obs.create ~registry () in
+    let tables, dt =
+      time_wall (fun () ->
+          Sched_experiments.Registry.run_all ~quick:true ~obs ~only:suite_ids ?pool ())
+    in
+    (suite_csv tables, Sched_obs.Export.json registry, sum_sched_counters registry, dt)
+  in
+  let seq_csv, seq_json, suite_events, t_suite_seq = run_suite None in
+  Printf.printf "  suite scaling (%s): sequential %.3f s (%.0f driver events)\n%!"
+    (String.concat "," suite_ids) t_suite_seq suite_events;
+  let recommended = Domain.recommended_domain_count () in
+  let widths = List.sort_uniq Int.compare [ 1; 2; 4; recommended ] in
+  let pool_times =
+    List.map
+      (fun d ->
+        let csv, json, _, dt =
+          Sched_stats.Pool.with_pool ~domains:d (fun pool -> run_suite (Some pool))
+        in
+        if csv <> seq_csv then begin
+          Printf.eprintf "FAIL: suite tables at domains=%d differ from sequential\n%!" d;
+          exit 1
+        end;
+        if json <> seq_json then begin
+          Printf.eprintf "FAIL: merged telemetry at domains=%d differs from sequential\n%!" d;
+          exit 1
+        end;
+        Printf.printf "  suite scaling: domains=%d -> %.3f s (%.2fx vs sequential)\n%!" d dt
+          (t_suite_seq /. dt);
+        (d, dt))
+      widths
+  in
+
   (* JSON baseline. *)
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"pr\": \"pr3\",\n";
+  Printf.bprintf buf "  \"pr\": \"pr4\",\n";
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
   Printf.bprintf buf "  \"driver_event_microbench\": {\n";
   Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
@@ -363,7 +424,20 @@ let run_regression out_path =
       Printf.bprintf buf "    \"domains_%d_seconds\": %.6f%s\n" domains dt
         (if k = List.length par_times - 1 then "" else ","))
     par_times;
-  Buffer.add_string buf "  }\n}\n";
+  Buffer.add_string buf "  },\n";
+  Printf.bprintf buf "  \"pool_scaling\": {\n";
+  Printf.bprintf buf "    \"suite\": \"%s\",\n" (String.concat "," suite_ids);
+  Printf.bprintf buf "    \"recommended_domains\": %d,\n" recommended;
+  Printf.bprintf buf "    \"driver_events\": %.0f,\n" suite_events;
+  Printf.bprintf buf "    \"sequential_seconds\": %.6f,\n" t_suite_seq;
+  Printf.bprintf buf "    \"sequential_events_per_sec\": %.1f,\n" (suite_events /. t_suite_seq);
+  List.iter
+    (fun (d, dt) ->
+      Printf.bprintf buf "    \"domains_%d_seconds\": %.6f,\n" d dt;
+      Printf.bprintf buf "    \"domains_%d_speedup\": %.3f,\n" d (t_suite_seq /. dt);
+      Printf.bprintf buf "    \"domains_%d_events_per_sec\": %.1f,\n" d (suite_events /. dt))
+    pool_times;
+  Printf.bprintf buf "    \"byte_identical\": true\n  }\n}\n";
   let oc = open_out out_path in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -407,7 +481,31 @@ let run_regression out_path =
     exit 1
   end;
   Printf.printf "  PASS: driver-event speedup %.1fx (%.1fx with telemetry) >= 2x gate\n%!" speedup
-    tel_speedup
+    tel_speedup;
+  (* Pool gates.  Width 1 must stay close to sequential (the pool's whole
+     overhead budget); the 2x-at-4-domains gate only means something on a
+     host that has 4 cores to give. *)
+  let t_pool1 = List.assoc 1 pool_times in
+  if t_pool1 > 2.0 *. t_suite_seq then begin
+    Printf.eprintf "FAIL: width-1 pool %.3f s exceeds 2x sequential %.3f s\n%!" t_pool1
+      t_suite_seq;
+    exit 1
+  end;
+  (match List.assoc_opt 4 pool_times with
+  | Some t4 when recommended >= 4 ->
+      if t_suite_seq /. t4 < 2.0 then begin
+        Printf.eprintf "FAIL: suite speedup at 4 domains %.2fx is below the 2x gate\n%!"
+          (t_suite_seq /. t4);
+        exit 1
+      end
+      else Printf.printf "  PASS: suite speedup at 4 domains %.1fx >= 2x gate\n%!" (t_suite_seq /. t4)
+  | _ ->
+      Printf.printf "  (4-domain speedup gate skipped: host has %d recommended domain%s)\n%!"
+        recommended
+        (if recommended = 1 then "" else "s"));
+  Printf.printf "  PASS: width-1 pool overhead %.2fx <= 2x sequential; tables and telemetry \
+                 byte-identical at every width\n%!"
+    (t_pool1 /. t_suite_seq)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -426,7 +524,7 @@ let () =
             List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv)
           with
           | [ path ] -> path
-          | _ -> "BENCH_pr3.json")
+          | _ -> "BENCH_pr4.json")
     in
     run_regression out
   else begin

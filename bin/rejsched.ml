@@ -42,6 +42,21 @@ let alpha_arg =
 
 let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
 
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Width of the process's domain pool (parallel workers for per-seed replication \
+                 and 'experiment --all').  Defaults to the machine's recommended domain count; \
+                 1 forces sequential execution.  Results are byte-identical for every width.")
+
+let apply_domains = function
+  | None -> ()
+  | Some d ->
+      if d < 1 then (
+        prerr_endline "rejsched: --domains must be >= 1";
+        exit 2);
+      Sched_stats.Pool.set_default_domains d
+
 let sizes_arg =
   let names = List.map fst Suite.dist_menu in
   let doc = "Override the workload's size distribution: " ^ String.concat ", " names ^ "." in
@@ -102,7 +117,8 @@ let run_cmd =
                    schema-tagged object per event), or to stdout when FILE is '-'.")
   in
   let action policy workload n m seed eps csv gantt svg load swf save segments sizes telemetry
-      trace_ndjson =
+      trace_ndjson domains =
+    apply_domains domains;
     let gen = apply_sizes (workload_of_name ~n ~m workload) sizes in
     let inst =
       match (load, swf) with
@@ -190,7 +206,7 @@ let run_cmd =
     Term.(
       const action $ policy_arg $ workload_arg $ n_arg $ m_arg $ seed_arg $ eps_arg $ csv_arg
       $ gantt_arg $ svg_arg $ load_arg $ swf_arg $ save_arg $ segments_arg $ sizes_arg
-      $ telemetry_arg $ trace_ndjson_arg)
+      $ telemetry_arg $ trace_ndjson_arg $ domains_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one policy on one synthetic workload and print its metrics.") term
 
@@ -202,12 +218,20 @@ let experiment_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e9) or 'all'.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller instances, fewer seeds.") in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Run the whole suite (same as ID 'all'): experiments fan out as tasks on the \
+                   domain pool, one per experiment; see --domains.")
+  in
   let out_arg =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"DIR"
              ~doc:"Also write every table as a CSV file into DIR (created if missing), plus a MANIFEST.")
   in
-  let action id quick csv out =
+  let action id all quick csv out domains =
+    apply_domains domains;
+    let id = if all then "all" else id in
     let manifest = Buffer.create 256 in
     let slugify s =
       String.map (fun c -> if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') then c else '-')
@@ -257,10 +281,10 @@ let experiment_cmd =
             Printf.printf "[%s] %s (%s)\n" e.Sched_experiments.Registry.id
               e.Sched_experiments.Registry.title e.Sched_experiments.Registry.reproduces;
             emit e.Sched_experiments.Registry.id tables)
-          (Sched_experiments.Registry.run_all ~quick ())
+          (Sched_experiments.Registry.run_all ~quick ~pool:(Sched_stats.Pool.default ()) ())
     | id -> (
         match Sched_experiments.Registry.find id with
-        | Some e -> emit id (e.Sched_experiments.Registry.run ~quick)
+        | Some e -> emit id (e.Sched_experiments.Registry.run ~obs:None ~quick)
         | None ->
             prerr_endline ("unknown experiment: " ^ id);
             exit 1));
@@ -270,7 +294,7 @@ let experiment_cmd =
             Out_channel.output_string oc ("experiment,file,title\n" ^ Buffer.contents manifest))
     | _ -> ()
   in
-  let term = Term.(const action $ id_arg $ quick_arg $ csv_arg $ out_arg) in
+  let term = Term.(const action $ id_arg $ all_arg $ quick_arg $ csv_arg $ out_arg $ domains_arg) in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's experiment tables (E1..E9, see EXPERIMENTS.md).")

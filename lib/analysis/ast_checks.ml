@@ -1,4 +1,4 @@
-(* The parsetree rules (RJL001–RJL005, RJL007).  Everything here is purely
+(* The parsetree rules (RJL001–RJL005, RJL007, RJL008).  Everything here is purely
    syntactic: rejlint runs on unpreprocessed sources with
    [Parse.implementation], so it sees exactly what the developer wrote,
    before any type information exists.  That keeps the linter fast and
@@ -46,6 +46,20 @@ let banned_wallclock path =
       Some (String.concat "." path ^ " reads the wall clock")
   | ("Mtime" | "Mtime_clock") :: _ ->
       Some (String.concat "." path ^ " reads the monotonic clock")
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* RJL008: raw concurrency primitives, allowed only in the domain-pool
+   module.  Domain.recommended_domain_count and Domain.DLS are fine —
+   the rule targets the primitives that create or synchronize domains,
+   which is what makes scheduling order observable. *)
+
+let banned_concurrency path =
+  match path with
+  | [ "Domain"; ("spawn" | "join") ] ->
+      Some (String.concat "." path ^ " creates/joins a domain")
+  | "Atomic" :: _ | "Mutex" :: _ | "Condition" :: _ ->
+      Some (String.concat "." path ^ " is a raw synchronization primitive")
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -247,7 +261,15 @@ let check ~(scope : Scope.t) ~file (str : structure) =
                | Some why ->
                    add ~rule:Rule.Nondet_source ~loc
                      (Printf.sprintf "%s: %s" (String.concat "." (flatten txt)) why)
-               | None -> ()));
+               | None -> (
+                   match banned_concurrency path with
+                   | Some why ->
+                       if not (Scope.pool scope) then
+                         add ~rule:Rule.Raw_concurrency ~loc
+                           (Printf.sprintf "%s: %s; submit tasks to Sched_stats.Pool instead"
+                              (String.concat "." (flatten txt))
+                              why)
+                   | None -> ())));
         if not io_allowed then begin
           match banned_io path with
           | Some why -> add ~rule:Rule.Stray_io ~loc why

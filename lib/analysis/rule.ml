@@ -7,6 +7,7 @@ type id =
   | Stray_io
   | Missing_mli
   | Wall_clock
+  | Raw_concurrency
 
 type severity = Error | Warning
 
@@ -20,6 +21,7 @@ let all =
     Stray_io;
     Missing_mli;
     Wall_clock;
+    Raw_concurrency;
   ]
 
 let to_string = function
@@ -31,6 +33,7 @@ let to_string = function
   | Stray_io -> "stray-io"
   | Missing_mli -> "missing-mli"
   | Wall_clock -> "wall-clock"
+  | Raw_concurrency -> "raw-concurrency"
 
 let code = function
   | Parse_error -> "RJL000"
@@ -41,6 +44,7 @@ let code = function
   | Stray_io -> "RJL005"
   | Missing_mli -> "RJL006"
   | Wall_clock -> "RJL007"
+  | Raw_concurrency -> "RJL008"
 
 let of_string s =
   let rec find = function
@@ -63,6 +67,9 @@ let describe = function
   | Wall_clock ->
       "wall-clock/monotonic time read (Sys.time, Unix.gettimeofday/time/times, Mtime*) in lib/ \
        outside Obs.Clock"
+  | Raw_concurrency ->
+      "raw concurrency primitive (Domain.spawn/join, Atomic.*, Mutex.*, Condition.*) in lib/ \
+       outside Stats.Pool"
 
 (* Rule ids are ordered by their catalog position so reports are stable. *)
 let index r =

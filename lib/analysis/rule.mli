@@ -15,6 +15,12 @@ type id =
   | Wall_clock
       (** RJL007: wall-clock/monotonic time read in [lib/] outside the
           telemetry clock module ([lib/obs/clock.ml]). *)
+  | Raw_concurrency
+      (** RJL008: raw concurrency primitive ([Domain.spawn]/[join],
+          [Atomic.*], [Mutex.*], [Condition.*]) in [lib/] outside the
+          domain-pool module ([lib/stats/pool.ml]) — everything else must
+          go through [Sched_stats.Pool] so scheduling stays deterministic
+          and domains are never oversubscribed. *)
 
 type severity = Error | Warning
 

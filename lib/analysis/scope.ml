@@ -1,14 +1,15 @@
 type kind = Lib | Bin | Bench | Test | Examples | Other
 
-type t = { kind : kind; policy : bool; display : bool; clock : bool }
+type t = { kind : kind; policy : bool; display : bool; clock : bool; pool : bool }
 
-let make ?(policy = false) ?(display = false) ?(clock = false) kind =
-  { kind; policy; display; clock }
+let make ?(policy = false) ?(display = false) ?(clock = false) ?(pool = false) kind =
+  { kind; policy; display; clock; pool }
 
 let kind t = t.kind
 let policy t = t.policy
 let display t = t.display
 let clock t = t.clock
+let pool t = t.pool
 
 (* The stats display modules are the one place in lib/ allowed to talk to
    the console (they exist to render tables and charts for humans). *)
@@ -17,6 +18,10 @@ let display_modules = [ "lib/stats/table.ml"; "lib/stats/chart.ml" ]
 (* The telemetry clock module is the one place in lib/ allowed to read
    wall/monotonic time (RJL007); everything else must take a Clock.t. *)
 let clock_modules = [ "lib/obs/clock.ml" ]
+
+(* The domain pool is the one place in lib/ allowed to touch raw
+   concurrency primitives (RJL008); everything else submits to a Pool.t. *)
+let pool_modules = [ "lib/stats/pool.ml" ]
 
 let normalize path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in
@@ -34,7 +39,8 @@ let classify path =
     let policy = has_prefix ~prefix:"lib/core/" p || has_prefix ~prefix:"lib/baselines/" p in
     let display = List.mem p display_modules in
     let clock = List.mem p clock_modules in
-    { kind = Lib; policy; display; clock }
+    let pool = List.mem p pool_modules in
+    { kind = Lib; policy; display; clock; pool }
   else if has_prefix ~prefix:"bin/" p then make Bin
   else if has_prefix ~prefix:"bench/" p then make Bench
   else if has_prefix ~prefix:"test/" p then make Test
@@ -46,6 +52,7 @@ let of_string = function
   | "policy" -> Some (make Lib ~policy:true)
   | "display" -> Some (make Lib ~display:true)
   | "clock" -> Some (make Lib ~clock:true)
+  | "pool" -> Some (make Lib ~pool:true)
   | "bin" -> Some (make Bin)
   | "bench" -> Some (make Bench)
   | "test" -> Some (make Test)

@@ -6,7 +6,7 @@ type kind = Lib | Bin | Bench | Test | Examples | Other
 
 type t
 
-val make : ?policy:bool -> ?display:bool -> ?clock:bool -> kind -> t
+val make : ?policy:bool -> ?display:bool -> ?clock:bool -> ?pool:bool -> kind -> t
 
 val kind : t -> kind
 
@@ -23,9 +23,14 @@ val clock : t -> bool
     wall-clock rule (RJL007) — it exists to encapsulate exactly those
     reads. *)
 
+val pool : t -> bool
+(** The domain-pool module ([lib/stats/pool.ml]) is exempt from the raw
+    concurrency rule (RJL008) — it exists to encapsulate exactly those
+    primitives. *)
+
 val classify : string -> t
 (** Classify a repo-relative path ("lib/model/schedule.ml"). *)
 
 val of_string : string -> t option
-(** Parse a [--scope] CLI value: lib | policy | display | clock | bin |
-    bench | test | examples | auto. *)
+(** Parse a [--scope] CLI value: lib | policy | display | clock | pool |
+    bin | bench | test | examples | auto. *)

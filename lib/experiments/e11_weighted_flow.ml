@@ -11,7 +11,7 @@ let weighted_volume_lb inst =
     0.
     (Instance.jobs_by_release inst)
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 150 and m = 4 in
   let epss = if quick then [ 0.25 ] else [ 0.1; 0.25; 0.5 ] in
   let table =

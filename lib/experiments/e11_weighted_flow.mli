@@ -7,4 +7,4 @@
     Theorem 1 algorithm, and checks the [2 eps] weight budget the charging
     argument still gives. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -2,7 +2,7 @@ open Sched_stats
 open Sched_model
 module FR = Rejection.Flow_reject
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 300 and m = 4 in
   let eps = 0.2 in
   let table =

@@ -8,4 +8,4 @@
     baselines on the elephant-heavy workloads, showing rejection buys its
     largest wins in the tail. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

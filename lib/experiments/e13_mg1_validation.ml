@@ -1,7 +1,7 @@
 open Sched_stats
 open Sched_model
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = if quick then 20_000 else 120_000 in
   let table =
     Table.create ~title:"E13: M/G/1 validation (FIFO, single machine, Poisson arrivals)"

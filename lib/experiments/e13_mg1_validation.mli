@@ -7,4 +7,4 @@
     invalidate every other experiment, so this is the reproduction's
     ground-truth anchor. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -3,7 +3,7 @@ open Sched_model
 module FR = Rejection.Flow_reject
 module RS = Sched_baselines.Restart_spt
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 200 and m = 4 in
   let table =
     Table.create

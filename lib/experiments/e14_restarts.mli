@@ -8,4 +8,4 @@
     jobs; the rejection policy's cover completed jobs (plus
     release-to-rejection for dropped ones). *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -2,7 +2,7 @@ open Sched_stats
 module LB = Sched_baselines.Lower_bounds
 module FR = Rejection.Flow_reject
 
-let standard_table ~quick =
+let standard_table ~obs ~quick =
   let n = Exp_util.scale ~quick 150 and m = 4 in
   let table =
     Table.create ~title:"E1a: Theorem 1 on standard workloads (ratio vs volume LB)"
@@ -14,9 +14,9 @@ let standard_table ~quick =
       List.iter
         (fun eps ->
           let per_seed =
-            Exp_util.per_seed ~quick (fun seed ->
+            Exp_util.per_seed_obs ?obs ~quick (fun ~obs seed ->
                 let inst = Sched_workload.Gen.instance gen ~seed in
-                let schedule = Exp_util.run_policy (FR.policy (FR.config ~eps ())) inst in
+                let schedule = Exp_util.run_policy ?obs (FR.policy (FR.config ~eps ())) inst in
                 let lb = (LB.volume inst).LB.value in
                 let msr = Exp_util.measure_flow schedule in
                 ( msr.Exp_util.total_flow /. lb,
@@ -83,7 +83,7 @@ let exact_table ~quick =
 (* Two-sided brackets: alg/OPT lies in [alg/UB, alg/LB] where UB is the
    local-search upper bound on OPT and LB the volume bound.  Tight brackets
    certify how much of the measured "ratio" is lower-bound looseness. *)
-let bracket_table ~quick =
+let bracket_table ~obs ~quick =
   let n = Exp_util.scale ~quick 120 and m = 3 in
   let eps = 0.25 in
   let table =
@@ -94,9 +94,9 @@ let bracket_table ~quick =
   List.iter
     (fun gen ->
       let stats =
-        Exp_util.per_seed ~quick (fun seed ->
+        Exp_util.per_seed_obs ?obs ~quick (fun ~obs seed ->
             let inst = Sched_workload.Gen.instance gen ~seed in
-            let schedule = Exp_util.run_policy (FR.policy (FR.config ~eps ())) inst in
+            let schedule = Exp_util.run_policy ?obs (FR.policy (FR.config ~eps ())) inst in
             let alg = (Exp_util.measure_flow schedule).Exp_util.total_flow in
             let lb = (LB.volume inst).LB.value in
             let ub = (Sched_baselines.Local_search.improve inst).Sched_baselines.Local_search.cost in
@@ -124,4 +124,4 @@ let bracket_table ~quick =
        ]);
   table
 
-let run ~quick = [ standard_table ~quick; exact_table ~quick; bracket_table ~quick ]
+let run ~obs ~quick = [ standard_table ~obs ~quick; exact_table ~quick; bracket_table ~obs ~quick ]

@@ -7,4 +7,4 @@
     ratios.  Claims checked: ratio <= [2((1+eps)/eps)^2], rejected fraction
     <= [2 eps]. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

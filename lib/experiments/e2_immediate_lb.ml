@@ -10,7 +10,7 @@ let ratio_of ~run ~l =
   (Sched_model.Metrics.flow schedule).Sched_model.Metrics.total_with_rejected
   /. result.AF.adversary_cost
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let ls = if quick then [ 4.; 8.; 16. ] else [ 4.; 8.; 16.; 32.; 64. ] in
   let table =
     Table.create

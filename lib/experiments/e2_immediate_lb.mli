@@ -5,4 +5,4 @@
     One row per instance scale [L] ([Delta = L^2]); series (columns) are
     immediate-rejection representatives and the Theorem 1 algorithm. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

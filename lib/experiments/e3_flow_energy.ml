@@ -2,7 +2,7 @@ open Sched_stats
 open Sched_model
 module FE = Rejection.Flow_energy_reject
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 100 and m = 3 in
   let alphas = if quick then [ 2.; 3. ] else [ 1.8; 2.; 2.5; 3. ] in
   let epss = if quick then [ 0.25 ] else [ 0.1; 0.25; 0.5 ] in

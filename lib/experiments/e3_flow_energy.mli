@@ -2,4 +2,4 @@
     scaling: ratio against the per-job speed-optimized lower bound, and the
     rejected-weight budget [eps]. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -142,4 +142,4 @@ let laxity_table ~quick =
     (if quick then [ 4; 16 ] else [ 3; 4; 8; 16; 32 ]);
   table
 
-let run ~quick = [ main_table ~quick; laxity_table ~quick; grid_table ~quick ]
+let run ~obs:_ ~quick = [ main_table ~quick; laxity_table ~quick; grid_table ~quick ]

@@ -7,4 +7,4 @@
     online comparator.  Includes a laxity sweep (tight to loose
     deadlines). *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -2,7 +2,7 @@ open Sched_stats
 module AE = Sched_workload.Adversary_energy
 module EG = Rejection.Energy_config_greedy
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let alphas = if quick then [ 2.; 3.; 4. ] else [ 2.; 3.; 4.; 5.; 6.; 7.; 8. ] in
   let table =
     Table.create

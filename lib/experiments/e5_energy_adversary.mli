@@ -2,4 +2,4 @@
     ratio growth in [alpha] between the [(alpha/9)^alpha] lower bound and
     the [alpha^alpha] upper bound. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

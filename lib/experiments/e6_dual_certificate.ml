@@ -118,4 +118,4 @@ let energy_table ~quick =
     cases;
   table
 
-let run ~quick = [ main_table ~quick; weak_duality_table ~quick; energy_table ~quick ]
+let run ~obs:_ ~quick = [ main_table ~quick; weak_duality_table ~quick; energy_table ~quick ]

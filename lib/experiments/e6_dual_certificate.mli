@@ -3,4 +3,4 @@
     [beta]-integral identity, primal-over-dual against [((1+eps)/eps)^2],
     and weak duality against the LP value on small instances. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

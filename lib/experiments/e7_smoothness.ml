@@ -1,7 +1,7 @@
 open Sched_stats
 open Sched_energy
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let trials = if quick then 400 else 4000 in
   let table =
     Table.create

@@ -3,4 +3,4 @@
     [mu = (alpha-1)/alpha] tracks [Theta(alpha^(alpha-1))], for polynomial
     and beyond-convex power functions. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -3,7 +3,7 @@ module FR = Rejection.Flow_reject
 
 let eps = 0.25
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 150 and m = 4 in
   let workloads =
     if quick then [ Sched_workload.Suite.flow_bimodal ~n ~m ]

@@ -2,4 +2,4 @@
     each rejection rule on/off and the dual-fitting dispatch versus a naive
     greedy-load dispatch — plus the non-rejecting baselines. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

@@ -3,7 +3,7 @@ open Sched_model
 module FR = Rejection.Flow_reject
 module SA = Sched_baselines.Speed_augmented
 
-let run ~quick =
+let run ~obs:_ ~quick =
   let n = Exp_util.scale ~quick 150 and m = 4 in
   let eps_r = 0.2 in
   let table =

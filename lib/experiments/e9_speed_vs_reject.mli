@@ -4,4 +4,4 @@
     machines; the rendition of [5] runs at [(1+eps_s)] speed.  Both ratios
     are against the unit-speed volume lower bound. *)
 
-val run : quick:bool -> Sched_stats.Table.t list
+val run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list

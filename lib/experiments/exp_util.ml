@@ -3,7 +3,31 @@ open Sched_sim
 
 let seeds ~quick = if quick then [ 11; 42 ] else Sched_workload.Suite.default_seeds
 
+(* Seed replication submits to the ambient pool (Sched_stats.Pool): under
+   Registry.run_all the enclosing experiment task's pool, so experiments
+   and seeds share one fixed set of domains; standalone (single
+   experiment from the CLI) the process-wide default pool. *)
 let per_seed ~quick f = Sched_stats.Parallel.map_list f (seeds ~quick)
+
+(* Telemetry-aware variant: each seed records into its own shard registry
+   (seeds may run on different domains concurrently), and the shards are
+   folded back into [obs] in seed order — so the merged snapshot is
+   byte-identical however the seeds were scheduled. *)
+let per_seed_obs ?obs ~quick f =
+  match obs with
+  | None -> per_seed ~quick (fun seed -> f ~obs:None seed)
+  | Some o ->
+      let shards =
+        per_seed ~quick (fun seed ->
+            let registry = Sched_obs.Registry.create () in
+            let shard = Sched_obs.Obs.create ~registry () in
+            (f ~obs:(Some shard) seed, registry))
+      in
+      List.map
+        (fun (result, registry) ->
+          Sched_obs.Registry.merge ~into:(Sched_obs.Obs.registry o) registry;
+          result)
+        shards
 
 let scale ~quick n = if quick then max 20 (n / 3) else n
 

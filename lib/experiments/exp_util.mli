@@ -7,9 +7,20 @@ val seeds : quick:bool -> int list
 (** Five seeds normally, two in quick mode. *)
 
 val per_seed : quick:bool -> (int -> 'a) -> 'a list
-(** [per_seed ~quick f] evaluates [f] on every seed, in parallel over
-    domains ({!Sched_stats.Parallel}); results come back in seed order, so
-    tables are identical to sequential runs. *)
+(** [per_seed ~quick f] evaluates [f] on every seed, in parallel on the
+    ambient domain pool ({!Sched_stats.Parallel} over
+    {!Sched_stats.Pool.ambient} — under [Registry.run_all] that is the
+    pool already running the experiment, so nothing oversubscribes);
+    results come back in seed order, so tables are identical to
+    sequential runs. *)
+
+val per_seed_obs :
+  ?obs:Sched_obs.Obs.t -> quick:bool -> (obs:Sched_obs.Obs.t option -> int -> 'a) -> 'a list
+(** Like {!per_seed}, threading telemetry: [f] receives a fresh
+    counters-only shard handle per seed (or [None] when [obs] is
+    [None]), and the shard registries are merged into [obs] in seed
+    order after the join — deterministic regardless of how the seeds
+    were scheduled across domains. *)
 
 val scale : quick:bool -> int -> int
 (** Shrinks instance sizes in quick mode (divides by 3, min 20). *)

@@ -2,7 +2,7 @@ type entry = {
   id : string;
   title : string;
   reproduces : string;
-  run : quick:bool -> Sched_stats.Table.t list;
+  run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list;
 }
 
 let all =
@@ -89,4 +89,57 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ?(quick = false) () = List.map (fun e -> (e, e.run ~quick)) all
+(* Structural counters: cheap, input-determined facts about the run that
+   any domain count must reproduce exactly — the differential tests
+   compare exports across sequential and pooled runs. *)
+let record_structure shard e tables =
+  let registry = Sched_obs.Obs.registry shard in
+  let labels = [ ("experiment", e.id) ] in
+  let tables_c =
+    Sched_obs.Registry.counter registry ~help:"Tables produced per experiment" ~labels
+      "exp_tables_total"
+  in
+  Sched_obs.Metric.Counter.add tables_c (float_of_int (List.length tables));
+  let rows =
+    List.fold_left (fun acc t -> acc + List.length (Sched_stats.Table.rows t)) 0 tables
+  in
+  let rows_c =
+    Sched_obs.Registry.counter registry ~help:"Table rows produced per experiment" ~labels
+      "exp_rows_total"
+  in
+  Sched_obs.Metric.Counter.add rows_c (float_of_int rows)
+
+(* One experiment = one pool task; seed replication inside an experiment
+   then submits to the same pool through the ambient mechanism
+   (Exp_util.per_seed), so the whole suite shares one fixed set of
+   domains.  Each task records telemetry into its own shard registry and
+   the shards merge into [obs] in registry order after the join, making
+   the export a pure function of the inputs — byte-identical for every
+   domain count, sequential included. *)
+let run_all ?(quick = false) ?obs ?pool ?only () =
+  let entries =
+    match only with None -> all | Some ids -> List.filter (fun e -> List.mem e.id ids) all
+  in
+  let run_one e =
+    match obs with
+    | None -> (e, e.run ~obs:None ~quick, None)
+    | Some _ ->
+        let registry = Sched_obs.Registry.create () in
+        let shard = Sched_obs.Obs.create ~registry () in
+        let tables = e.run ~obs:(Some shard) ~quick in
+        record_structure shard e tables;
+        (e, tables, Some registry)
+  in
+  let results =
+    match pool with
+    | None -> List.map run_one entries
+    | Some pool -> Sched_stats.Pool.parallel_map_list ~chunk_size:1 pool run_one entries
+  in
+  Option.iter
+    (fun o ->
+      List.iter
+        (fun (_, _, shard) ->
+          Option.iter (fun r -> Sched_obs.Registry.merge ~into:(Sched_obs.Obs.registry o) r) shard)
+        results)
+    obs;
+  List.map (fun (e, tables, _) -> (e, tables)) results

@@ -5,13 +5,34 @@ type entry = {
   id : string;  (** "e1" .. "e9". *)
   title : string;
   reproduces : string;  (** Which claim of the paper this regenerates. *)
-  run : quick:bool -> Sched_stats.Table.t list;
+  run : obs:Sched_obs.Obs.t option -> quick:bool -> Sched_stats.Table.t list;
+      (** [~obs] threads telemetry; experiments that do not emit any
+          ignore it (the suite-level structural counters are recorded by
+          {!run_all} regardless). *)
 }
 
 val all : entry list
 
 val find : string -> entry option
 
-val run_all : ?quick:bool -> unit -> (entry * Sched_stats.Table.t list) list
-(** Runs every experiment (quick defaults to false) and returns the
-    tables. *)
+val run_all :
+  ?quick:bool ->
+  ?obs:Sched_obs.Obs.t ->
+  ?pool:Sched_stats.Pool.t ->
+  ?only:string list ->
+  unit ->
+  (entry * Sched_stats.Table.t list) list
+(** Runs the suite (quick defaults to false) and returns the tables in
+    registry order.
+
+    [?only] restricts to the given experiment ids (unknown ids are
+    ignored).  [?pool] fans the experiments out as tasks on a
+    {!Sched_stats.Pool} — one task per experiment, [chunk_size = 1] —
+    while per-seed replication inside each experiment submits to the
+    same pool ({!Exp_util.per_seed}); omitting it runs sequentially.
+    [?obs] collects telemetry: each experiment records into a private
+    shard registry, shards are merged into [obs] in registry order after
+    the join, and two structural counters ([exp_tables_total],
+    [exp_rows_total], labelled by experiment id) are always recorded —
+    so the merged export is byte-identical across domain counts,
+    sequential runs included. *)

@@ -62,6 +62,26 @@ module Histogram = struct
   let sum h = h.sum
   let bounds h = Array.to_list h.bounds
 
+  (* Bucket-wise accumulation, used by Registry.merge to fold per-shard
+     registries together.  Only histograms with identical bounds can be
+     merged: resampling observations into different buckets would need
+     the raw values, which a histogram no longer has. *)
+  let merge ~into src =
+    let same =
+      Array.length into.bounds = Array.length src.bounds
+      && begin
+           let ok = ref true in
+           Array.iteri
+             (fun k b -> if not (Float.equal b src.bounds.(k)) then ok := false)
+             into.bounds;
+           !ok
+         end
+    in
+    if not same then invalid_arg "Obs.Histogram.merge: bucket bounds differ";
+    Array.iteri (fun k c -> into.counts.(k) <- into.counts.(k) + c) src.counts;
+    into.sum <- into.sum +. src.sum;
+    into.count <- into.count + src.count
+
   let cumulative h =
     let acc = ref 0 in
     let cum = Array.map (fun c -> acc := !acc + c; !acc) h.counts in

@@ -52,4 +52,9 @@ module Histogram : sig
   val cumulative : t -> (float * int) list
   (** Prometheus-style cumulative [(le, count)] pairs, ending with the
       [+inf] bucket whose count equals {!count}. *)
+
+  val merge : into:t -> t -> unit
+  (** Adds [src]'s buckets, sum and count into [into].  Raises
+      [Invalid_argument] unless both histograms share identical bucket
+      bounds. *)
 end

@@ -104,6 +104,32 @@ let entries t =
       | c -> c)
     t.entries
 
+(* Fold [src] into [into], instrument by instrument, iterating [entries]
+   — i.e. sorted by (name, labels) — so that a sequence of merges is a
+   deterministic function of the shard contents and the merge order.
+   The experiment suite runs each pool task against its own shard
+   registry and merges the shards back in task order: exports are then
+   byte-identical whatever the domain count (including sequential). *)
+let merge ~into src =
+  List.iter
+    (fun e ->
+      match e.instrument with
+      | Counter c ->
+          Metric.Counter.add
+            (counter into ~help:e.help ~labels:e.labels e.name)
+            (Metric.Counter.value c)
+      | Gauge g ->
+          (* Last-merged-shard wins: the same "final value" semantics a
+             shared registry would have shown sequentially. *)
+          Metric.Gauge.set (gauge into ~help:e.help ~labels:e.labels e.name) (Metric.Gauge.value g)
+      | Histogram h ->
+          Metric.Histogram.merge
+            ~into:
+              (histogram into ~help:e.help ~labels:e.labels
+                 ~buckets:(Metric.Histogram.bounds h) e.name)
+            h)
+    (entries src)
+
 let find t ~name ~labels =
   let labels = List.sort (fun (k, _) (k', _) -> String.compare k k') labels in
   List.find_opt

@@ -36,6 +36,16 @@ val histogram :
 val entries : t -> entry list
 (** Sorted by (name, labels, id); safe to export verbatim. *)
 
+val merge : into:t -> t -> unit
+(** Accumulates every instrument of the source registry into [into]
+    (get-or-create by (name, labels)), iterating in {!entries} order —
+    sorted by metric name and labels — so a fixed sequence of merges is
+    deterministic.  Counters add; gauges take the source value
+    (last-merged wins); histograms add bucket-wise and require identical
+    bounds.  Raises [Invalid_argument] on an instrument-kind or
+    histogram-bucket mismatch.  This is how per-task shard registries
+    from parallel runs fold back into one exportable snapshot. *)
+
 val find : t -> name:string -> labels:(string * string) list -> entry option
 val size : t -> int
 

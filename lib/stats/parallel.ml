@@ -1,34 +1,14 @@
-let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+(* Thin compatibility shim over Pool.  Historically this module spawned
+   fresh domains per call; it now routes every region through the
+   persistent work-sharing pool: the ambient pool when no explicit
+   domain count is requested, a transient pool otherwise (tests and the
+   bench scaling harness use [~domains] to pin an exact width). *)
 
-type 'b cell = Pending | Done of 'b | Failed of exn
+let default_domains = Pool.default_domains
 
 let map_array ?domains f a =
-  let n = Array.length a in
-  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map f a
-  else begin
-    let results = Array.make n Pending in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let k = Atomic.fetch_and_add next 1 in
-        if k >= n then continue := false
-        else
-          results.(k) <-
-            (match f a.(k) with v -> Done v | exception e -> Failed e)
-      done
-    in
-    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.map
-      (function
-        | Done v -> v
-        | Failed e -> raise e
-        | Pending -> assert false)
-      results
-  end
+  match domains with
+  | None -> Pool.parallel_map (Pool.ambient ()) f a
+  | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.parallel_map pool f a)
 
 let map_list ?domains f l = Array.to_list (map_array ?domains f (Array.of_list l))

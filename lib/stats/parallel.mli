@@ -1,18 +1,24 @@
-(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+(** Deterministic fork-join parallelism — a thin shim over {!Pool}.
 
-    Experiments replicate runs over seeds; each run is independent, so they
-    map cleanly onto domains.  Results are returned in input order, making
-    parallel and sequential execution observationally identical, and any
-    exception from a worker is re-raised in the caller. *)
+    Experiments replicate runs over seeds; each run is independent, so
+    they map cleanly onto pool tasks.  Results are returned in input
+    order, making parallel and sequential execution observationally
+    identical, and any exception from a worker is re-raised in the
+    caller (lowest input index wins when several items raise).
+
+    Without [?domains] the region runs on the {e ambient} pool
+    ({!Pool.ambient}): the enclosing pool when called from inside a pool
+    task — so nested sweeps share one fixed set of domains — or the
+    persistent process-wide default otherwise.  An explicit [?domains]
+    pins an exact width by running on a transient pool of that size. *)
 
 val default_domains : unit -> int
 (** [max 1 (recommended_domain_count - 1)], leaving a core for the
     caller. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_array f a] applies [f] to every element, splitting the work over
-    up to [domains] domains (default {!default_domains}; [1] runs inline).
-    [f] must be safe to run concurrently with itself — in this codebase
-    that means: do not share an {!Rng.t} across items. *)
+(** [map_array f a] applies [f] to every element in parallel ([1] runs
+    inline).  [f] must be safe to run concurrently with itself — in this
+    codebase that means: do not share an {!Rng.t} across items. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,7 @@
+(* Fixture: suppression comments silence RJL008 line by line. *)
+
+(* rejlint: allow raw-concurrency *)
+let spawned () = Domain.spawn (fun () -> 1)
+
+let cell = Atomic.make 0 (* rejlint: allow RJL008 *)
+let guard = Mutex.create () (* rejlint: allow all *)

@@ -1,0 +1,15 @@
+(* Fixture: every banned concurrency primitive fires RJL008 when linted
+   under lib/ scope (and is exempt under the pool scope). *)
+
+let spawned () = Domain.spawn (fun () -> 1)
+let joined d = Domain.join d
+let cell = Atomic.make 0
+let bump () = Atomic.incr cell
+let guard = Mutex.create ()
+let locked f =
+  Mutex.lock guard;
+  let x = f () in
+  Mutex.unlock guard;
+  x
+let wake = Condition.create ()
+let notify () = Condition.broadcast wake

@@ -1,0 +1,11 @@
+(* Fixture: clean lib/ module — parallelism reaches it only through a
+   submitted task function, never a raw primitive.  Capacity queries and
+   domain-local storage are allowed: they neither create domains nor
+   synchronize between them. *)
+
+let capacity () = Domain.recommended_domain_count ()
+
+let slot = Domain.DLS.new_key (fun () -> 0)
+let stamp v = Domain.DLS.set slot v
+
+let map_with submit f xs = submit (fun () -> List.map f xs)

@@ -108,9 +108,35 @@ let test_trace_ndjson_matches_in_process () =
   let _, trace = in_process ~n:80 ~m:2 ~seed:7 ~eps:0.25 in
   Alcotest.(check string) "byte-identical trace" (Sched_sim.Trace_export.to_ndjson trace) cli
 
+let test_experiment_domains_identical () =
+  (* e1 replicates over seeds on the ambient pool, so --domains actually
+     changes the execution width — output must not change with it. *)
+  let out1 = temp ".csv" and out2 = temp ".csv" in
+  let run d out =
+    shell (Printf.sprintf "%s experiment e1 --quick --csv --domains %d > %s" exe d out)
+  in
+  Alcotest.(check int) "exit at domains=1" 0 (run 1 out1);
+  Alcotest.(check int) "exit at domains=3" 0 (run 3 out2);
+  Alcotest.(check string) "byte-identical tables" (read_file out1) (read_file out2);
+  Sys.remove out1;
+  Sys.remove out2
+
+let test_domains_zero_rejected () =
+  let err = temp ".txt" in
+  let code =
+    shell (Printf.sprintf "%s experiment e1 --quick --domains 0 > /dev/null 2> %s" exe err)
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) "message on stderr" true
+    (Test_util.contains (read_file err) "--domains");
+  Sys.remove err
+
 let suite =
   [
     Alcotest.test_case "unknown policy exits 2" `Quick test_unknown_policy_exits_2;
+    Alcotest.test_case "experiment output independent of --domains" `Slow
+      test_experiment_domains_identical;
+    Alcotest.test_case "--domains 0 rejected" `Quick test_domains_zero_rejected;
     Alcotest.test_case "telemetry counters reconcile" `Quick test_telemetry_reconciles_with_metrics;
     Alcotest.test_case "telemetry to stdout" `Quick test_telemetry_stdout;
     Alcotest.test_case "trace ndjson matches in-process" `Quick test_trace_ndjson_matches_in_process;

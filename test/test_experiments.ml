@@ -16,7 +16,7 @@ let test_find () =
 let table_testable = Alcotest.testable (fun ppf t -> Fmt.string ppf (Sched_stats.Table.title t)) ( == )
 
 let run_and_check entry =
-  let tables = entry.Registry.run ~quick:true in
+  let tables = entry.Registry.run ~obs:None ~quick:true in
   Alcotest.(check bool) "at least one table" true (tables <> []);
   List.iter
     (fun t ->
@@ -39,6 +39,53 @@ let run_and_check entry =
         (Sched_stats.Table.rows t))
     tables
 
+(* --- run_all fan-out: determinism across domain counts ----------------- *)
+
+(* One signature per suite run: every table as CSV plus the merged
+   telemetry export.  Byte equality of both across sequential and pooled
+   runs is the pool's correctness contract. *)
+let suite_signature ?pool () =
+  let registry = Sched_obs.Registry.create () in
+  let obs = Sched_obs.Obs.create ~registry () in
+  let results = Registry.run_all ~quick:true ~obs ~only:[ "e1"; "e7"; "e13" ] ?pool () in
+  let csv =
+    String.concat ""
+      (List.concat_map (fun (_, ts) -> List.map Sched_stats.Table.to_csv ts) results)
+  in
+  (csv, Sched_obs.Export.json registry)
+
+let test_run_all_differential () =
+  let seq_csv, seq_json = suite_signature () in
+  Alcotest.(check bool) "telemetry recorded" true (String.length seq_json > 2);
+  List.iter
+    (fun domains ->
+      Sched_stats.Pool.with_pool ~domains (fun pool ->
+          let csv, json = suite_signature ~pool () in
+          Alcotest.(check string) (Printf.sprintf "tables at domains=%d" domains) seq_csv csv;
+          Alcotest.(check string) (Printf.sprintf "telemetry at domains=%d" domains) seq_json json))
+    [ 1; 2; 4 ]
+
+let test_run_all_only_and_counters () =
+  let registry = Sched_obs.Registry.create () in
+  let obs = Sched_obs.Obs.create ~registry () in
+  let results = Registry.run_all ~quick:true ~obs ~only:[ "e7"; "nope" ] () in
+  Alcotest.(check (list string)) "unknown ids ignored" [ "e7" ]
+    (List.map (fun (e, _) -> e.Registry.id) results);
+  let tables = List.concat_map snd results in
+  let total_rows =
+    List.fold_left (fun acc t -> acc + List.length (Sched_stats.Table.rows t)) 0 tables
+  in
+  let counter name =
+    match Sched_obs.Registry.find registry ~name ~labels:[ ("experiment", "e7") ] with
+    | Some { Sched_obs.Registry.instrument = Sched_obs.Registry.Counter c; _ } ->
+        Sched_obs.Metric.Counter.value c
+    | _ -> Alcotest.failf "missing structural counter %s" name
+  in
+  Alcotest.(check (float 0.)) "tables counted"
+    (float_of_int (List.length tables))
+    (counter "exp_tables_total");
+  Alcotest.(check (float 0.)) "rows counted" (float_of_int total_rows) (counter "exp_rows_total")
+
 let experiment_cases =
   List.map
     (fun e ->
@@ -50,6 +97,10 @@ let suite =
   [
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
     Alcotest.test_case "registry find" `Quick test_find;
+    Alcotest.test_case "run_all: byte-identical across domain counts" `Slow
+      test_run_all_differential;
+    Alcotest.test_case "run_all: only filter and structural counters" `Quick
+      test_run_all_only_and_counters;
   ]
   @ experiment_cases
 

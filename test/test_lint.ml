@@ -123,6 +123,31 @@ let test_clock_module_classified () =
   Alcotest.(check bool) "sibling" false (RL.Scope.clock (RL.Scope.classify "lib/obs/sink.ml"));
   Alcotest.(check bool) "driver" false (RL.Scope.clock (RL.Scope.classify "lib/sim/driver.ml"))
 
+let test_concurrency_bad () =
+  let fs = lint "concurrency_bad.ml" in
+  Alcotest.(check int) "findings" 9 (List.length fs);
+  check_all_rule RL.Rule.Raw_concurrency fs
+
+let test_concurrency_pool_scope () =
+  (* The pool scope (lib/stats/pool.ml) is the one lib/ module allowed to
+     spawn domains and hold locks. *)
+  Alcotest.(check int) "pool scope" 0
+    (List.length (lint ~scope_name:"pool" "concurrency_bad.ml"))
+
+let test_concurrency_ok () =
+  (* Domain.recommended_domain_count and Domain.DLS must NOT fire: they
+     neither create domains nor synchronize between them. *)
+  Alcotest.(check int) "clean" 0 (List.length (lint "concurrency_ok.ml"))
+
+let test_concurrency_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "concurrency_allow.ml"))
+
+let test_pool_module_classified () =
+  (* Path classification must allowlist exactly lib/stats/pool.ml. *)
+  Alcotest.(check bool) "pool.ml" true (RL.Scope.pool (RL.Scope.classify "lib/stats/pool.ml"));
+  Alcotest.(check bool) "shim" false (RL.Scope.pool (RL.Scope.classify "lib/stats/parallel.ml"));
+  Alcotest.(check bool) "driver" false (RL.Scope.pool (RL.Scope.classify "lib/sim/driver.ml"))
+
 let test_mli_coverage () =
   (* RJL006 is a directory-walk property: scan the mli/ fixture tree. *)
   let buf = Buffer.create 256 in
@@ -304,6 +329,12 @@ let suite =
     Alcotest.test_case "wallclock: suppressed fixture" `Quick test_wallclock_allow;
     Alcotest.test_case "wallclock: lib/obs/clock.ml allowlisted" `Quick test_clock_module_classified;
     Alcotest.test_case "wallclock: more specific than nondet" `Quick test_wallclock_beats_nondet;
+    Alcotest.test_case "concurrency: fixture fires" `Quick test_concurrency_bad;
+    Alcotest.test_case "concurrency: pool scope exempt" `Quick test_concurrency_pool_scope;
+    Alcotest.test_case "concurrency: clean fixture" `Quick test_concurrency_ok;
+    Alcotest.test_case "concurrency: suppressed fixture" `Quick test_concurrency_allow;
+    Alcotest.test_case "concurrency: lib/stats/pool.ml allowlisted" `Quick
+      test_pool_module_classified;
     Alcotest.test_case "mli: orphan flagged, covered clean" `Quick test_mli_coverage;
     Alcotest.test_case "polycmp: Stdlib. prefix normalized" `Quick test_stdlib_prefix_normalized;
     Alcotest.test_case "unstable: named comparator trusted" `Quick test_named_comparator_trusted;

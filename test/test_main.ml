@@ -9,6 +9,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("pqueue", Test_pqueue.suite);
       ("driver", Test_driver.suite);
+      ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
       ("flow-reject", Test_flow_reject.suite);
       ("flow-energy", Test_flow_energy.suite);

@@ -406,6 +406,76 @@ let test_timed_obs_records_phases () =
       | _ -> Alcotest.failf "missing phase histogram %s" phase)
     [ "on_arrival"; "select"; "segment"; "heap" ]
 
+(* --- registry merge (parallel shard fold-back) ------------------------- *)
+
+let test_registry_merge () =
+  let src = Registry.create () and dst = Registry.create () in
+  Metric.Counter.add (Registry.counter dst "jobs_total") 2.;
+  Metric.Counter.add (Registry.counter src "jobs_total") 3.;
+  Metric.Gauge.set (Registry.gauge dst "queue_depth") 7.;
+  Metric.Gauge.set (Registry.gauge src "queue_depth") 4.;
+  let hd = Registry.histogram dst ~buckets:[ 1.; 2. ] "latency" in
+  let hs = Registry.histogram src ~buckets:[ 1.; 2. ] "latency" in
+  List.iter (Metric.Histogram.observe hd) [ 0.5; 1.5 ];
+  List.iter (Metric.Histogram.observe hs) [ 1.5; 4. ];
+  Metric.Counter.inc (Registry.counter src ~labels:[ ("experiment", "e9") ] "only_in_src");
+  Registry.merge ~into:dst src;
+  Alcotest.(check (float 0.)) "counters add" 5.
+    (Metric.Counter.value (Registry.counter dst "jobs_total"));
+  Alcotest.(check (float 0.)) "gauge: last-merged wins" 4.
+    (Metric.Gauge.value (Registry.gauge dst "queue_depth"));
+  Alcotest.(check int) "histogram counts add" 4 (Metric.Histogram.count hd);
+  Alcotest.(check (float 0.)) "histogram sums add" 7.5 (Metric.Histogram.sum hd);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "bucket-wise addition"
+    [ (1., 1); (2., 3); (Float.infinity, 4) ]
+    (Metric.Histogram.cumulative hd);
+  Alcotest.(check (float 0.)) "source-only entries created" 1.
+    (Metric.Counter.value (Registry.counter dst ~labels:[ ("experiment", "e9") ] "only_in_src"));
+  (* The source shard is read-only to merge. *)
+  Alcotest.(check (float 0.)) "source untouched" 3.
+    (Metric.Counter.value (Registry.counter src "jobs_total"))
+
+let test_registry_merge_mismatch () =
+  let expect_invalid what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  in
+  let a = Registry.create () and b = Registry.create () in
+  ignore (Registry.histogram a ~buckets:[ 1.; 2. ] "h");
+  ignore (Registry.histogram b ~buckets:[ 1.; 4. ] "h");
+  expect_invalid "bucket bounds differ" (fun () -> Registry.merge ~into:a b);
+  let c = Registry.create () and d = Registry.create () in
+  ignore (Registry.counter c "x");
+  Metric.Gauge.set (Registry.gauge d "x") 1.;
+  expect_invalid "instrument kinds differ" (fun () -> Registry.merge ~into:c d)
+
+let test_merge_export_identity () =
+  (* Recording everything into one registry and recording into per-task
+     shards merged back in task order must export byte-identically —
+     the property the pooled experiment suite relies on. *)
+  let record reg k =
+    Metric.Counter.add (Registry.counter reg ~help:"jobs" "jobs_total") (float_of_int k);
+    Metric.Gauge.set (Registry.gauge reg ~labels:[ ("machine", "0") ] "depth") (float_of_int k);
+    Metric.Histogram.observe
+      (Registry.histogram reg ~buckets:[ 1.; 8. ] "size")
+      (0.25 *. float_of_int k)
+  in
+  let tasks = [ 1; 2; 3; 4 ] in
+  let direct = Registry.create () in
+  List.iter (record direct) tasks;
+  let merged = Registry.create () in
+  List.iter
+    (fun k ->
+      let shard = Registry.create () in
+      record shard k;
+      Registry.merge ~into:merged shard)
+    tasks;
+  Alcotest.(check string) "json identical" (O.Export.json direct) (O.Export.json merged);
+  Alcotest.(check string) "prometheus identical" (O.Export.prometheus direct)
+    (O.Export.prometheus merged)
+
 let suite =
   [
     Alcotest.test_case "counter semantics" `Quick test_counter;
@@ -416,6 +486,9 @@ let suite =
     Alcotest.test_case "registry: labels normalized" `Quick test_registry_label_normalization;
     Alcotest.test_case "registry: rejects bad input" `Quick test_registry_rejects_bad_input;
     Alcotest.test_case "registry: deterministic order" `Quick test_registry_deterministic_order;
+    Alcotest.test_case "registry: merge semantics" `Quick test_registry_merge;
+    Alcotest.test_case "registry: merge rejects mismatches" `Quick test_registry_merge_mismatch;
+    Alcotest.test_case "registry: sharded export identity" `Quick test_merge_export_identity;
     Alcotest.test_case "clocks: frozen/ticker/calls/monotonic" `Quick test_clocks;
     Alcotest.test_case "null sink records nothing" `Quick test_null_sink_records_nothing;
     Alcotest.test_case "spans sink aggregates" `Quick test_spans_sink_aggregates;
