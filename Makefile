@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench quick-bench bench-check examples experiments clean
+.PHONY: all build test lint fuzz-smoke bench quick-bench bench-check examples experiments clean
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 # Exits nonzero on any error-severity finding.  See DESIGN.md.
 lint:
 	dune build @lint
+
+# Deterministic fuzz smoke (~30s): the coverage-guided scenario fuzzer
+# over the whole policy registry at a fixed seed, once sequentially and
+# once on a 4-domain pool.  Exit code 3 (shrunk repro on stderr) on any
+# oracle/metamorphic violation.  See DESIGN.md section 10.
+fuzz-smoke:
+	dune exec bin/rejsched.exe -- fuzz --seed 7 --budget 300
+	dune exec bin/rejsched.exe -- fuzz --seed 7 --budget 300 --domains 4 --quiet
 
 # Full experiment tables + Bechamel micro-benchmarks (a few minutes).
 bench:

@@ -245,6 +245,34 @@ let run_regression out_path =
   let reps = if quick then 1 else 3 in
   Printf.printf "== Regression harness (quick=%b, reps=%d) ==\n%!" quick reps;
 
+  (* 3-pre: oracle fuzz pre-flight.  A short coverage-guided fuzz of the
+     whole registry must come back clean, and its report must be
+     byte-identical at pool widths 1, 2 and 4 — the determinism contract
+     the parallel path claims, now checked against the oracle rather than
+     just against itself. *)
+  let fuzz_budget = if quick then 32 else 96 in
+  let fuzz_cfg = Sched_fuzz.Fuzz.config ~budget:fuzz_budget ~seed:7 () in
+  let fuzz_run d =
+    Sched_stats.Pool.with_pool ~domains:d (fun pool -> Sched_fuzz.Fuzz.run ~pool fuzz_cfg)
+  in
+  let fuzz_widths = [ 1; 2; 4 ] in
+  let fuzz_head = fuzz_run 1 in
+  let fuzz_base = Sched_fuzz.Fuzz.report_to_string fuzz_head in
+  List.iter
+    (fun d ->
+      if Sched_fuzz.Fuzz.report_to_string (fuzz_run d) <> fuzz_base then begin
+        Printf.eprintf "FAIL: fuzz report at domains=%d differs from width 1\n%!" d;
+        exit 1
+      end)
+    (List.filter (fun d -> d <> 1) fuzz_widths);
+  if fuzz_head.Sched_fuzz.Fuzz.failures <> [] then begin
+    Printf.eprintf "FAIL: fuzz pre-flight found violations:\n%s%!" fuzz_base;
+    exit 1
+  end;
+  Printf.printf "  fuzz pre-flight: %s" fuzz_base;
+  Printf.printf "  fuzz pre-flight byte-identical at widths %s\n%!"
+    (String.concat "," (List.map string_of_int fuzz_widths));
+
   (* 3a: driver-event microbenchmark, indexed vs seed scans, n >= 10k. *)
   let n = 10_000 and m = 8 in
   let inst = burst_instance ~n ~m ~seed:7 in
@@ -412,6 +440,14 @@ let run_regression out_path =
   Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_fr_opt;
   Printf.bprintf buf "    \"seed_scan_seconds\": %.6f,\n" t_fr_ref;
   Printf.bprintf buf "    \"speedup\": %.3f\n  },\n" (t_fr_ref /. t_fr_opt);
+  Printf.bprintf buf "  \"fuzz_preflight\": {\n";
+  Printf.bprintf buf "    \"budget\": %d,\n" fuzz_budget;
+  Printf.bprintf buf "    \"evaluated\": %d,\n" fuzz_head.Sched_fuzz.Fuzz.evaluated;
+  Printf.bprintf buf "    \"coverage\": %d,\n" fuzz_head.Sched_fuzz.Fuzz.coverage;
+  Printf.bprintf buf "    \"failures\": %d,\n" (List.length fuzz_head.Sched_fuzz.Fuzz.failures);
+  Printf.bprintf buf "    \"widths\": \"%s\",\n"
+    (String.concat "," (List.map string_of_int fuzz_widths));
+  Printf.bprintf buf "    \"byte_identical\": true\n  },\n";
   Printf.bprintf buf "  \"end_to_end\": {\n";
   Printf.bprintf buf "    \"policy\": \"flow-reject\",\n";
   Printf.bprintf buf "    \"n\": %d,\n    \"m\": 16,\n" e2e_n;

@@ -4,8 +4,11 @@
      run         run one policy on one synthetic workload, print metrics
      experiment  regenerate one (or all) of the paper's experiment tables
      adversary   play a lower-bound game (Lemma 1 or Lemma 2)
+     fuzz        coverage-guided oracle fuzzing of every registered policy
      bounds      print the paper's theoretical constants for given eps/alpha
-     list        list workloads, policies and experiments *)
+     list        list workloads, policies and experiments
+
+   Exit codes: 0 success, 2 usage error, 3 oracle violation found by fuzz. *)
 
 open Cmdliner
 open Sched_model
@@ -376,6 +379,99 @@ let gen_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let budget_arg =
+    Arg.(value & opt int 60
+         & info [ "budget" ] ~docv:"N" ~doc:"Number of scenarios to evaluate.")
+  in
+  let telemetry_arg =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:"Record oracle telemetry (schedules audited, violations by checker) and write \
+                   the JSON snapshot to FILE, or to stdout when FILE is '-'.")
+  in
+  let write_corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "write-corpus" ] ~docv:"DIR"
+             ~doc:"Write every shrunk failure as a replayable fuzz-case file into DIR.")
+  in
+  let write_seed_corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "write-seed-corpus" ] ~docv:"DIR"
+             ~doc:"Write the built-in seed corpus into DIR (the checked-in test/fuzz_corpus \
+                   files are exactly this rendering) and exit without fuzzing.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-generation progress.") in
+  let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
+  let write_case dir c =
+    Out_channel.with_open_text
+      (Filename.concat dir (Sched_fuzz.Corpus.filename c))
+      (fun oc -> Out_channel.output_string oc (Sched_fuzz.Corpus.render c))
+  in
+  let action seed budget domains telemetry write_corpus write_seed_corpus quiet =
+    apply_domains domains;
+    match write_seed_corpus with
+    | Some dir ->
+        ensure_dir dir;
+        let cases = Sched_fuzz.Corpus.seeds () in
+        List.iter (write_case dir) cases;
+        Printf.printf "wrote %d seed cases to %s\n" (List.length cases) dir
+    | None ->
+        let obs = match telemetry with None -> None | Some _ -> Some (Sched_obs.Obs.create ()) in
+        let cfg = Sched_fuzz.Fuzz.config ~budget ~seed () in
+        let progress = if quiet then fun _ -> () else print_endline in
+        let report =
+          Sched_fuzz.Fuzz.run ~progress
+            ?registry:(Option.map Sched_obs.Obs.registry obs)
+            ~pool:(Sched_stats.Pool.default ()) cfg
+        in
+        print_string (Sched_fuzz.Fuzz.report_to_string report);
+        (match (telemetry, obs) with
+        | Some target, Some o ->
+            let json = Sched_obs.Export.json (Sched_obs.Obs.registry o) in
+            if target = "-" then print_string json
+            else Out_channel.with_open_text target (fun oc -> Out_channel.output_string oc json)
+        | _ -> ());
+        (match write_corpus with
+        | Some dir when report.Sched_fuzz.Fuzz.failures <> [] ->
+            ensure_dir dir;
+            List.iteri
+              (fun k (f : Sched_fuzz.Fuzz.failure) ->
+                write_case dir
+                  {
+                    Sched_fuzz.Corpus.name = Printf.sprintf "fail-%02d-%s-%s" k f.policy f.prop;
+                    policy = f.policy;
+                    instance = f.shrunk;
+                  })
+              report.Sched_fuzz.Fuzz.failures
+        | _ -> ());
+        if report.Sched_fuzz.Fuzz.failures <> [] then begin
+          (* The shrunk witnesses go to stderr in the Serialize format, so a
+             failing CI run is immediately replayable. *)
+          List.iter
+            (fun (f : Sched_fuzz.Fuzz.failure) ->
+              prerr_endline
+                (Printf.sprintf "# policy %s, property %s, from %s: %s" f.policy f.prop
+                   (Sched_fuzz.Scenario.label f.scenario) f.detail);
+              prerr_string (Serialize.instance_to_string f.shrunk))
+            report.Sched_fuzz.Fuzz.failures;
+          exit 3
+        end
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ budget_arg $ domains_arg $ telemetry_arg $ write_corpus_arg
+      $ write_seed_corpus_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz every registered policy against the schedule-invariant oracle and metamorphic \
+             properties; exits 3 with shrunk repro instances on stderr when a violation is found.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
 
 let bounds_cmd =
@@ -427,7 +523,8 @@ let () =
   exit
     (try
        Cmd.eval ~catch:false
-         (Cmd.group info [ run_cmd; experiment_cmd; adversary_cmd; bounds_cmd; gen_cmd; list_cmd ])
+         (Cmd.group info
+            [ run_cmd; experiment_cmd; adversary_cmd; fuzz_cmd; bounds_cmd; gen_cmd; list_cmd ])
      with Invalid_argument msg ->
        prerr_endline ("rejsched: " ^ msg);
        2)

@@ -1,0 +1,30 @@
+let schedules_total = "sched_check_schedules_total"
+let clean_total = "sched_check_clean_total"
+let violations_total = "sched_check_violations_total"
+
+let record registry violations =
+  Sched_obs.Metric.Counter.inc
+    (Sched_obs.Registry.counter registry ~help:"Schedules audited by the oracle" schedules_total);
+  match violations with
+  | [] ->
+      Sched_obs.Metric.Counter.inc
+        (Sched_obs.Registry.counter registry ~help:"Schedules the oracle found clean" clean_total)
+  | vs ->
+      List.iter
+        (fun (v : Violation.t) ->
+          Sched_obs.Metric.Counter.inc
+            (Sched_obs.Registry.counter registry ~help:"Oracle violations by checker"
+               ~labels:[ ("check", Violation.check_name v.Violation.check) ]
+               violations_total))
+        vs
+
+let violation_totals registry =
+  List.filter_map
+    (fun (e : Sched_obs.Registry.entry) ->
+      match e.Sched_obs.Registry.instrument with
+      | Sched_obs.Registry.Counter c when e.Sched_obs.Registry.name = violations_total -> (
+          match List.assoc_opt "check" e.Sched_obs.Registry.labels with
+          | Some check -> Some (check, Sched_obs.Metric.Counter.value c)
+          | None -> None)
+      | _ -> None)
+    (Sched_obs.Registry.entries registry)

@@ -1,0 +1,27 @@
+(** The fuzzer's seed corpus: named (instance, policy) regression cases.
+
+    Cases found interesting by fuzzing — tie-heavy, restricted-eligibility,
+    adversarial — are checked into [test/fuzz_corpus/] in the textual
+    format below and replayed under [dune runtest]: each case's policy must
+    run oracle-clean on its instance forever after.
+
+    {v
+    rejsched-fuzz-case v1
+    name <case name>
+    policy <registry policy name>
+    rejsched-instance v1
+    ...                       (the Serialize instance format)
+    v} *)
+
+type case = { name : string; policy : string; instance : Sched_model.Instance.t }
+
+val seeds : unit -> case list
+(** The built-in seed corpus, rebuilt deterministically from {!Scenario}
+    coordinates.  The checked-in [test/fuzz_corpus/] files are renderings
+    of exactly this list ([rejsched fuzz --write-seed-corpus]); a replay
+    test pins the equality so the files cannot drift silently. *)
+
+val render : case -> string
+val parse : string -> (case, string) result
+val filename : case -> string
+(** ["<name>.case"]. *)

@@ -1,0 +1,73 @@
+module W = Sched_workload
+
+type t = { family : string; seed : int; n : int; m : int }
+
+let families =
+  [
+    "uniform";
+    "pareto";
+    "bimodal";
+    "restricted";
+    "related";
+    "clustered";
+    "diurnal";
+    "weighted";
+    "deadline";
+    "ties";
+    "adversary";
+  ]
+
+(* The energy-model exponent every energy workload in the repo uses. *)
+let alpha = 3.
+
+let instance t =
+  let n = max 1 t.n and m = max 1 t.m in
+  match t.family with
+  | "uniform" -> W.Gen.instance (W.Suite.flow_uniform ~n ~m) ~seed:t.seed
+  | "pareto" -> W.Gen.instance (W.Suite.flow_pareto ~n ~m) ~seed:t.seed
+  | "bimodal" -> W.Gen.instance (W.Suite.flow_bimodal ~n ~m) ~seed:t.seed
+  | "restricted" -> W.Gen.instance (W.Suite.flow_restricted ~n ~m) ~seed:t.seed
+  | "related" -> W.Gen.instance (W.Suite.flow_related ~n ~m) ~seed:t.seed
+  | "clustered" -> W.Gen.instance (W.Suite.flow_clustered ~n ~m) ~seed:t.seed
+  | "diurnal" -> W.Gen.instance (W.Suite.flow_diurnal ~n ~m) ~seed:t.seed
+  | "weighted" -> W.Gen.instance (W.Suite.weighted_energy ~n ~m ~alpha) ~seed:t.seed
+  | "deadline" -> W.Gen.instance (W.Suite.deadline_energy ~n ~m ~alpha) ~seed:t.seed
+  | "ties" ->
+      (* Everything at time 0 with one identical size: every dispatch,
+         select and victim choice is decided purely by tie-breaks — the
+         corner where ordering bugs hide. *)
+      let gen =
+        W.Gen.make ~name:"ties" ~arrivals:W.Gen.All_at_zero
+          ~sizes:(Sched_stats.Dist.constant 2.) ~n ~m ()
+      in
+      W.Gen.instance gen ~seed:t.seed
+  | "adversary" ->
+      (* The Lemma 1 lower-bound stream (big blockers, then a burst of
+         mice), instantiated non-adaptively at observed start 0. *)
+      let l = 2. ** float_of_int (1 + (abs t.seed mod 3)) in
+      let r = W.Adversary_flow.build ~eps:0.3 ~l ~observed_start:0. in
+      r.W.Adversary_flow.instance
+  | f -> invalid_arg (Printf.sprintf "Scenario.instance: unknown family %S" f)
+
+let label t = Printf.sprintf "%s/s%d/n%d/m%d" t.family t.seed t.n t.m
+
+(* A tiny deterministic string salt so each family explores different
+   seeds; nothing about it needs to be a good hash. *)
+let family_salt f = String.fold_left (fun acc c -> (acc * 31) + Char.code c) 0 f mod 1000
+
+let base ~seed =
+  let sizes = [ (12, 2); (40, 3); (80, 5) ] in
+  List.concat_map
+    (fun family ->
+      List.mapi (fun k (n, m) -> { family; seed = (seed * 257) + (31 * k) + family_salt family; n; m }) sizes)
+    families
+
+let mutants t =
+  [
+    { t with seed = (t.seed * 7) + 1 };
+    { t with seed = (t.seed * 7) + 3 };
+    { t with n = max 4 (t.n / 2); seed = t.seed + 5 };
+    { t with n = min 320 (t.n * 2); seed = t.seed + 11 };
+    { t with m = max 1 (t.m - 1); seed = t.seed + 13 };
+    { t with m = min 12 (t.m + 1); seed = t.seed + 17 };
+  ]

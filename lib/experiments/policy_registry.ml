@@ -11,9 +11,10 @@ type entry = {
   run : Instance.t -> Schedule.t;
   run_live : Instance.t -> Schedule.t * Driver.live_metrics;
   reference : (Instance.t -> Schedule.t) option;
+  budget : Sched_check.Oracle.budget option;
 }
 
-let pack ?reference ?(allow_restarts = false) make_policy name =
+let pack ?reference ?budget ?(allow_restarts = false) make_policy name =
   {
     name;
     allow_restarts;
@@ -24,47 +25,54 @@ let pack ?reference ?(allow_restarts = false) make_policy name =
         (s, live));
     reference =
       Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;
+    budget;
   }
 
 (* A fixed eps for registry/differential purposes; the experiments sweep
    their own values. *)
 let eps = 0.3
 
+let no_rejection = Sched_check.Oracle.Count_fraction 0.
+
 let all =
   [
     pack
       (fun () -> FR.policy (FR.config ~eps ()))
       ~reference:(fun () -> B.Seed_reference.flow_reject (FR.config ~eps ()))
+      ~budget:(Sched_check.Oracle.Count_fraction (2. *. eps))
       "flow-reject";
     pack
       (fun () ->
         FR.policy (FR.config ~dispatch:FR.Greedy_load ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_reject (FR.config ~dispatch:FR.Greedy_load ~eps ()))
+      ~budget:(Sched_check.Oracle.Count_fraction (2. *. eps))
       "flow-reject-greedy";
     pack
       (fun () -> FRW.policy (FRW.config ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_reject_weighted (FRW.config ~eps ()))
+      ~budget:(Sched_check.Oracle.Weight_fraction (2. *. eps))
       "flow-reject-weighted";
     pack
       (fun () -> FER.policy (FER.config ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_energy_reject (FER.config ~eps ()))
+      ~budget:(Sched_check.Oracle.Weight_fraction eps)
       "flow-energy-reject";
     pack
       (fun () -> B.Greedy_dispatch.fifo)
       ~reference:(fun () -> B.Seed_reference.greedy_fifo)
-      "greedy-fifo";
+      ~budget:no_rejection "greedy-fifo";
     pack
       (fun () -> B.Greedy_dispatch.spt)
       ~reference:(fun () -> B.Seed_reference.greedy_spt)
-      "greedy-spt";
+      ~budget:no_rejection "greedy-spt";
     pack
       (fun () -> B.Immediate_reject.policy ~eps B.Immediate_reject.Never)
       ~reference:(fun () ->
         B.Seed_reference.immediate_reject ~eps B.Immediate_reject.Never)
-      "immediate-never";
+      ~budget:no_rejection "immediate-never";
     pack
       (fun () ->
         B.Immediate_reject.policy ~eps
@@ -85,7 +93,7 @@ let all =
       (fun () -> B.Restart_spt.policy (B.Restart_spt.config ()))
       ~reference:(fun () ->
         B.Seed_reference.restart_spt (B.Restart_spt.config ()))
-      ~allow_restarts:true "restart-spt";
+      ~allow_restarts:true ~budget:no_rejection "restart-spt";
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

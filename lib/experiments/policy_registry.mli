@@ -20,6 +20,12 @@ type entry = {
   reference : (Instance.t -> Schedule.t) option;
       (** The {!Sched_baselines.Seed_reference} mirror: same decisions via
           linear scans; must produce the identical schedule. *)
+  budget : Sched_check.Oracle.budget option;
+      (** The rejection budget the policy's theorem guarantees at this
+          [eps] ([Count_fraction 0.] for policies that never reject;
+          [None] for heuristics with no bound, e.g. threshold-based
+          immediate rejection).  The oracle and fuzzer enforce it on every
+          audited run. *)
 }
 
 val eps : float

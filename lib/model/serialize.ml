@@ -166,7 +166,7 @@ let segments_to_csv (s : Schedule.t) =
     s.Schedule.segments;
   Buffer.contents buf
 
-let schedule_to_string (s : Schedule.t) =
+let schedule_dump ~segments (s : Schedule.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "rejsched-schedule v1\n";
   Buffer.add_string buf ("instance " ^ s.Schedule.instance.Instance.name ^ "\n");
@@ -190,7 +190,7 @@ let schedule_to_string (s : Schedule.t) =
                (float_to_string r.Outcome.time)
                assigned r.Outcome.was_running))
     s.Schedule.outcomes;
-  Buffer.add_string buf (Printf.sprintf "segments %d\n" (List.length s.Schedule.segments));
+  Buffer.add_string buf (Printf.sprintf "segments %d\n" (List.length segments));
   List.iter
     (fun (g : Schedule.segment) ->
       Buffer.add_string buf
@@ -198,5 +198,26 @@ let schedule_to_string (s : Schedule.t) =
            (float_to_string g.Schedule.start)
            (float_to_string g.Schedule.stop)
            (float_to_string g.Schedule.speed)))
-    s.Schedule.segments;
+    segments;
   Buffer.contents buf
+
+let schedule_to_string (s : Schedule.t) = schedule_dump ~segments:s.Schedule.segments s
+
+(* Total order on segments so two schedules that lay the same work in a
+   different internal list order dump identically. *)
+let cmp_segment_canonical (a : Schedule.segment) (b : Schedule.segment) =
+  match Float.compare a.Schedule.start b.Schedule.start with
+  | 0 -> (
+      match Int.compare a.Schedule.machine b.Schedule.machine with
+      | 0 -> (
+          match Int.compare a.Schedule.job b.Schedule.job with
+          | 0 -> (
+              match Float.compare a.Schedule.stop b.Schedule.stop with
+              | 0 -> Float.compare a.Schedule.speed b.Schedule.speed
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let schedule_to_canonical_string (s : Schedule.t) =
+  schedule_dump ~segments:(List.sort cmp_segment_canonical s.Schedule.segments) s

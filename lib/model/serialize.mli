@@ -32,3 +32,10 @@ val schedule_to_string : Schedule.t -> string
     every segment (layout order) with round-tripping float formatting.  Two
     runs are observationally identical iff their dumps are byte-identical,
     which is what the determinism/replay tests compare. *)
+
+val schedule_to_canonical_string : Schedule.t -> string
+(** Like {!schedule_to_string} but with segments sorted by
+    [(start, machine, job, stop, speed)] instead of layout order.  Use this
+    to compare schedules that lay the same work but were built through
+    different code paths (e.g. a rebuilt/permuted schedule vs. the driver's
+    original), where the internal segment list order is not meaningful. *)

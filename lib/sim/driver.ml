@@ -156,6 +156,9 @@ type state = {
   instr : instr option;
   acc : accum;
   total_weight : float;
+  mutable saw_restart : bool;
+      (** Set when a running job is killed and requeued; picks the oracle's
+          restart relaxation for [?check]. *)
 }
 
 type view = state
@@ -378,6 +381,7 @@ let restart_job st id =
         lay_segment st
           { Schedule.job = id; machine = i; start = r.started; stop = t; speed = r.rate };
       let wasted = Float.max 0. ((t -. r.started) *. r.rate) in
+      st.saw_restart <- true;
       record st (Trace.Restart { job = id; machine = i; wasted });
       (match st.instr with
       | None -> ()
@@ -429,7 +433,27 @@ let try_start st queue seq policy pstate i =
             Pqueue.push queue ~key:finish ~tag:(tag_finish !seq) (Finish (i, ms.m_epoch))
       end
 
-let run_state ?trace ?obs policy instance =
+(* Post-run oracle audit for [?check].  The oracle re-derives every
+   invariant from scratch (independent of [Schedule.validate] and of the
+   incremental accumulators), so a pass here really is a second opinion. *)
+let audit ?obs policy st schedule =
+  let lm = live st in
+  let snap =
+    {
+      Sched_check.Oracle.flow = lm.flow;
+      energy = lm.energy;
+      rejection = lm.rejection;
+      makespan = lm.makespan;
+    }
+  in
+  let mode = Sched_check.Oracle.mode ~allow_restarts:st.saw_restart () in
+  let vs = Sched_check.Oracle.check ~mode ~live:snap schedule in
+  (match obs with
+  | Some o -> Sched_check.Check_obs.record (Sched_obs.Obs.registry o) vs
+  | None -> ());
+  Sched_check.Oracle.assert_clean ~what:policy.name vs
+
+let run_state ?trace ?obs ?(check = false) policy instance =
   let m = Instance.m instance in
   let st =
     {
@@ -457,6 +481,7 @@ let run_state ?trace ?obs policy instance =
           a_mid_run = 0;
         };
       total_weight = Instance.total_weight instance;
+      saw_restart = false;
     }
   in
   let pstate = policy.init instance in
@@ -537,14 +562,16 @@ let run_state ?trace ?obs policy instance =
         invalid_arg
           (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i))
     st.machines;
-  (Schedule.finalize st.builder, pstate, st)
+  let schedule = Schedule.finalize st.builder in
+  if check then audit ?obs policy st schedule;
+  (schedule, pstate, st)
 
-let run ?trace ?obs policy instance =
-  let schedule, pstate, _ = run_state ?trace ?obs policy instance in
+let run ?trace ?obs ?check policy instance =
+  let schedule, pstate, _ = run_state ?trace ?obs ?check policy instance in
   (schedule, pstate)
 
-let run_live ?trace ?obs policy instance =
-  let schedule, pstate, st = run_state ?trace ?obs policy instance in
+let run_live ?trace ?obs ?check policy instance =
+  let schedule, pstate, st = run_state ?trace ?obs ?check policy instance in
   (schedule, pstate, live st)
 
-let run_schedule ?trace ?obs policy instance = fst (run ?trace ?obs policy instance)
+let run_schedule ?trace ?obs ?check policy instance = fst (run ?trace ?obs ?check policy instance)

@@ -163,7 +163,20 @@ type 'a policy = {
     differential tests), and the default {!Sched_obs.Sink.null} sink never
     reads a clock. *)
 
-val run : ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t * 'a
+(** {b Oracle auditing.}  Passing [?check:true] runs the independent
+    {!Sched_check.Oracle} over the finished schedule before it is returned:
+    every structural invariant (non-preemption — relaxed automatically when
+    the run actually restarted a job — machine disjointness, release
+    respect, outcome consistency, deadlines) plus a reconciliation of the
+    incremental {!live_metrics} against a from-scratch
+    {!Sched_model.Metrics} recomputation at 1e-9 relative tolerance.  A
+    violation raises {!Sched_check.Oracle.Violations}; with [?obs] the
+    verdict is also recorded as [sched_check_*] counters.  Auditing never
+    influences the run — the schedule is byte-identical with and without
+    it. *)
+
+val run :
+  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> ?check:bool -> 'a policy -> Instance.t -> Schedule.t * 'a
 (** Simulates the policy on the instance.  Raises [Invalid_argument] on an
     ill-formed policy decision (dispatch to an ineligible machine, rejecting
     an unknown job, starting a non-pending job, non-positive speed).  The
@@ -171,8 +184,14 @@ val run : ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> S
     use to expose analysis data (e.g. the dual variables of Lemma 4). *)
 
 val run_live :
-  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t * 'a * live_metrics
+  ?trace:Trace.t ->
+  ?obs:Sched_obs.Obs.t ->
+  ?check:bool ->
+  'a policy ->
+  Instance.t ->
+  Schedule.t * 'a * live_metrics
 (** [run] additionally returning the final incremental-metrics snapshot. *)
 
-val run_schedule : ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> 'a policy -> Instance.t -> Schedule.t
+val run_schedule :
+  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> ?check:bool -> 'a policy -> Instance.t -> Schedule.t
 (** [run] dropping the policy state. *)

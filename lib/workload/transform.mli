@@ -19,6 +19,22 @@ val scale_sizes : float -> Instance.t -> Instance.t
 val shift_releases : float -> Instance.t -> Instance.t
 (** Add [delta >= 0] to every release (and deadline). *)
 
+val permute_jobs : Sched_stats.Rng.t -> Instance.t -> Instance.t
+(** Shuffle the presentation order of the job list fed to
+    {!Instance.create}.  Ids, releases and sizes are untouched and the
+    instance re-sorts by release internally, so the result must be
+    observationally identical — every policy has to produce a
+    byte-identical schedule on it (a metamorphic identity the fuzzer
+    checks). *)
+
+val relabel_machines : perm:int array -> Instance.t -> Instance.t
+(** Rename machine [i] to [perm.(i)] (a permutation of [0..m-1]), carrying
+    speeds, alphas and each job's size column along.  The relabeled
+    instance describes the same scheduling problem up to machine identity;
+    note policies may legitimately break argmin ties by machine id, so
+    runs on the relabeled instance are equivalent in metrics, not
+    byte-identical. *)
+
 val subsample : Sched_stats.Rng.t -> keep:float -> Instance.t -> Instance.t
 (** Keep each job independently with probability [keep]; at least one job
     is always retained.  Job ids are renumbered [0..n'-1]. *)

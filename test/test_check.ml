@@ -1,0 +1,292 @@
+(* Oracle unit tests: hand-built invalid schedules must each trip the
+   matching checker, clean ones must pass, and the telemetry / driver
+   integration points must round-trip. *)
+
+open Sched_model
+module Oracle = Sched_check.Oracle
+module Violation = Sched_check.Violation
+module Check_obs = Sched_check.Check_obs
+
+let seg job machine start stop speed = { Schedule.job; machine; start; stop; speed }
+
+let completed machine start speed finish =
+  Outcome.Completed { Outcome.machine; start; speed; finish }
+
+let rejected ?assigned_to ?(was_running = false) time =
+  Outcome.Rejected { Outcome.time; assigned_to; was_running }
+
+(* Hand-build a schedule: finalize only demands outcome coverage, so tests
+   can lay down arbitrarily broken segment lists. *)
+let build inst segments outcomes =
+  let b = Schedule.builder inst in
+  List.iter (Schedule.add_segment b) segments;
+  List.iter (fun (id, o) -> Schedule.set_outcome b id o) outcomes;
+  Schedule.finalize b
+
+let has kind vs = List.exists (fun v -> v.Violation.check = kind) vs
+
+let check_has name kind vs =
+  if not (has kind vs) then
+    Alcotest.failf "%s: expected a %s violation, got %s" name (Violation.check_name kind)
+      (if vs = [] then "a clean report" else Oracle.report vs)
+
+let check_clean name vs =
+  if vs <> [] then Alcotest.failf "%s: expected clean, got %s" name (Oracle.report vs)
+
+(* A correct one-job schedule passes every structural checker. *)
+let test_clean () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, completed 0 0. 1. 2.) ] in
+  check_clean "one-job schedule" (Oracle.structural s)
+
+let test_overlap () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]); (0., [| 2. |]) ] in
+  let s =
+    build inst
+      [ seg 0 0 0. 2. 1.; seg 1 0 1. 3. 1. ]
+      [ (0, completed 0 0. 1. 2.); (1, completed 0 1. 1. 3.) ]
+  in
+  check_has "overlapping segments" Violation.Machine_overlap (Oracle.structural s)
+
+let test_preemption () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  (* Aborted attempt [0,1] (volume 1 < 2), final run [3,5] (volume 2). *)
+  let s =
+    build inst [ seg 0 0 0. 1. 1.; seg 0 0 3. 5. 1. ] [ (0, completed 0 3. 1. 5.) ]
+  in
+  check_has "split completed job" Violation.Non_preemption (Oracle.structural s);
+  (* The same schedule is legal under the restart relaxation. *)
+  check_clean "restart relaxation"
+    (Oracle.structural ~mode:(Oracle.mode ~allow_restarts:true ()) s)
+
+let test_release () =
+  let inst = Test_util.instance ~machines:1 [ (1., [| 1. |]) ] in
+  let s = build inst [ seg 0 0 0.5 1.5 1. ] [ (0, completed 0 0.5 1. 1.5) ] in
+  check_has "early start" Violation.Release_respect (Oracle.structural s)
+
+let test_unknown_machine () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 0 5 0. 2. 1. ] [ (0, completed 5 0. 1. 2.) ] in
+  check_has "unknown machine" Violation.Segment_bounds (Oracle.structural s)
+
+let test_reversed_segment () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 1. |]) ] in
+  let s = build inst [ seg 0 0 2. 1. 1. ] [ (0, completed 0 2. 1. 1.) ] in
+  check_has "reversed segment" Violation.Segment_bounds (Oracle.structural s)
+
+let test_bad_speed () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 0. ] [ (0, completed 0 0. 0. 2.) ] in
+  check_has "zero speed" Violation.Segment_bounds (Oracle.structural s)
+
+let test_missing_segment () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [] [ (0, completed 0 0. 1. 2.) ] in
+  check_has "completed without segment" Violation.Exactly_once (Oracle.structural s)
+
+let test_unknown_job () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 7 0 0. 1. 1. ] [ (0, rejected 0.) ] in
+  check_has "segment of unknown job" Violation.Exactly_once (Oracle.structural s)
+
+let test_outcome_mismatch () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, completed 0 0. 1. 2.5) ] in
+  check_has "outcome interval mismatch" Violation.Outcome_consistency (Oracle.structural s)
+
+let test_volume_mismatch () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 3. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, completed 0 0. 1. 2.) ] in
+  check_has "short volume" Violation.Outcome_consistency (Oracle.structural s)
+
+let test_reject_before_release () =
+  let inst = Test_util.instance ~machines:1 [ (1., [| 1. |]) ] in
+  let s = build inst [] [ (0, rejected 0.5) ] in
+  check_has "acausal rejection" Violation.Outcome_consistency (Oracle.structural s)
+
+let test_reject_segment_after_time () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 4. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, rejected ~was_running:true 1.) ] in
+  check_has "segment past rejection" Violation.Outcome_consistency (Oracle.structural s)
+
+let test_reject_full_size () =
+  let inst = Test_util.instance ~machines:1 [ (0., [| 2. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, rejected ~was_running:true 2.) ] in
+  check_has "rejected yet fully processed" Violation.Outcome_consistency (Oracle.structural s)
+
+let test_deadline () =
+  let inst = Test_util.deadline_instance ~machines:1 [ (0., 1., [| 2. |]) ] in
+  let s = build inst [ seg 0 0 0. 2. 1. ] [ (0, completed 0 0. 1. 2.) ] in
+  (* The default mode infers deadline checking from the instance. *)
+  check_has "deadline miss" Violation.Deadline (Oracle.structural s);
+  check_clean "deadline checking disabled"
+    (Oracle.structural ~mode:(Oracle.mode ~check_deadlines:false ()) s)
+
+(* Rejection budgets recount from the outcome array. *)
+let budget_fixture () =
+  let inst =
+    Test_util.instance ~machines:1 [ (0., [| 1. |]); (0., [| 1. |]); (0., [| 1. |]); (0., [| 1. |]) ]
+  in
+  build inst
+    [ seg 0 0 0. 1. 1.; seg 1 0 1. 2. 1. ]
+    [ (0, completed 0 0. 1. 1.); (1, completed 0 1. 1. 2.); (2, rejected 0.); (3, rejected 0.) ]
+
+let test_budget_count () =
+  let s = budget_fixture () in
+  check_clean "structural part" (Oracle.structural s);
+  check_has "half rejected vs quarter budget" Violation.Rejection_budget
+    (Oracle.budget_check (Oracle.Count_fraction 0.25) s);
+  check_clean "half rejected vs half budget" (Oracle.budget_check (Oracle.Count_fraction 0.5) s)
+
+let test_budget_weight () =
+  let inst =
+    Test_util.weighted_instance ~machines:1 [ (0., 3., [| 1. |]); (0., 1., [| 1. |]) ]
+  in
+  let s = build inst [ seg 1 0 0. 1. 1. ] [ (0, rejected 0.); (1, completed 0 0. 1. 1.) ] in
+  (* 3 of 4 weight units rejected. *)
+  check_has "rejected weight over budget" Violation.Rejection_budget
+    (Oracle.budget_check (Oracle.Weight_fraction 0.5) s);
+  check_clean "rejected weight within budget"
+    (Oracle.budget_check (Oracle.Weight_fraction 0.8) s)
+
+(* Reconcile: the driver's incremental metrics must match a recomputation;
+   a doctored snapshot must be flagged as drift. *)
+let live_fixture () =
+  let entry =
+    match Sched_experiments.Policy_registry.find "flow-reject" with
+    | Some e -> e
+    | None -> Alcotest.fail "flow-reject not registered"
+  in
+  let inst = Test_util.random_instance ~seed:11 ~n:30 ~m:3 () in
+  let schedule, lm = entry.Sched_experiments.Policy_registry.run_live inst in
+  let snap =
+    {
+      Oracle.flow = lm.Sched_sim.Driver.flow;
+      energy = lm.Sched_sim.Driver.energy;
+      rejection = lm.Sched_sim.Driver.rejection;
+      makespan = lm.Sched_sim.Driver.makespan;
+    }
+  in
+  (schedule, snap)
+
+let test_reconcile () =
+  let schedule, snap = live_fixture () in
+  check_clean "incremental metrics agree" (Oracle.reconcile snap schedule);
+  check_has "doctored energy" Violation.Metric_drift
+    (Oracle.reconcile { snap with Oracle.energy = snap.Oracle.energy +. 1. } schedule);
+  let drifted =
+    {
+      snap with
+      Oracle.rejection = { snap.Oracle.rejection with Metrics.count = snap.Oracle.rejection.Metrics.count + 1 };
+    }
+  in
+  check_has "doctored rejection count" Violation.Metric_drift (Oracle.reconcile drifted schedule)
+
+let test_full_check () =
+  let schedule, snap = live_fixture () in
+  check_clean "full suite on a real run"
+    (Oracle.check ~budget:(Oracle.Count_fraction 0.6) ~live:snap schedule);
+  check_has "full suite combines budget" Violation.Rejection_budget
+    (Oracle.check ~budget:(Oracle.Count_fraction (-1.)) ~live:snap schedule)
+
+let test_assert_clean () =
+  let v = Violation.make ~job:3 ~at:1.5 Violation.Machine_overlap "synthetic" in
+  (match Oracle.assert_clean ~what:"ok" [] with () -> ());
+  match Oracle.assert_clean ~what:"bad" [ v ] with
+  | () -> Alcotest.fail "assert_clean accepted a violation"
+  | exception Oracle.Violations (what, vs) ->
+      Alcotest.(check string) "run name carried" "bad" what;
+      Alcotest.(check int) "violations carried" 1 (List.length vs)
+
+let test_violation_printing () =
+  let v = Violation.make ~job:3 ~machine:1 ~at:1.5 Violation.Machine_overlap "jobs collide" in
+  let s = Violation.to_string v in
+  Alcotest.(check bool) "label present" true (Test_util.contains s "machine-overlap");
+  Alcotest.(check bool) "detail present" true (Test_util.contains s "jobs collide");
+  let r = Oracle.report [ v; v ] in
+  Alcotest.(check bool) "report counts" true (Test_util.contains r "2");
+  (* check_name/check_of_name round-trip over every constructor. *)
+  List.iter
+    (fun c ->
+      match Violation.check_of_name (Violation.check_name c) with
+      | Some c' when c' = c -> ()
+      | _ -> Alcotest.failf "check_of_name failed for %s" (Violation.check_name c))
+    Violation.all_checks
+
+let test_violation_order () =
+  let a = Violation.make ~job:0 Violation.Segment_bounds "a" in
+  let b = Violation.make ~job:1 Violation.Segment_bounds "a" in
+  let c = Violation.make Violation.Metric_drift "z" in
+  Alcotest.(check bool) "job tie-break" true (Violation.compare a b < 0);
+  Alcotest.(check int) "reflexive" 0 (Violation.compare a a);
+  Alcotest.(check bool) "antisymmetric" true
+    (Violation.compare a c = -Violation.compare c a)
+
+let test_check_obs () =
+  let reg = Sched_obs.Registry.create () in
+  Check_obs.record reg [];
+  Check_obs.record reg
+    [
+      Violation.make Violation.Machine_overlap "x";
+      Violation.make Violation.Machine_overlap "y";
+      Violation.make Violation.Metric_drift "z";
+    ];
+  let totals = Check_obs.violation_totals reg in
+  Alcotest.(check (list (pair string (float 0.))))
+    "per-check counters"
+    [ ("machine-overlap", 2.); ("metric-drift", 1.) ]
+    totals;
+  let counter name =
+    match Sched_obs.Registry.find reg ~name ~labels:[] with
+    | Some { Sched_obs.Registry.instrument = Sched_obs.Registry.Counter c; _ } ->
+        Sched_obs.Metric.Counter.value c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check (float 0.)) "schedules audited" 2. (counter "sched_check_schedules_total");
+  Alcotest.(check (float 0.)) "clean schedules" 1. (counter "sched_check_clean_total")
+
+(* Driver integration: ?check never changes the schedule and records
+   telemetry when an obs handle is supplied. *)
+let test_driver_check () =
+  let inst = Test_util.random_instance ~seed:3 ~n:25 ~m:2 () in
+  let plain = Sched_sim.Driver.run_schedule Sched_baselines.Greedy_dispatch.spt inst in
+  let reg = Sched_obs.Registry.create () in
+  let obs = Sched_obs.Obs.create ~registry:reg () in
+  let audited =
+    Sched_sim.Driver.run_schedule ~obs ~check:true Sched_baselines.Greedy_dispatch.spt inst
+  in
+  Alcotest.(check string) "audit is observational"
+    (Serialize.schedule_to_string plain)
+    (Serialize.schedule_to_string audited);
+  match Sched_obs.Registry.find reg ~name:"sched_check_schedules_total" ~labels:[] with
+  | Some { Sched_obs.Registry.instrument = Sched_obs.Registry.Counter c; _ } ->
+      Alcotest.(check (float 0.)) "audit recorded" 1. (Sched_obs.Metric.Counter.value c)
+  | _ -> Alcotest.fail "driver ?check did not record telemetry"
+
+let suite =
+  [
+    Alcotest.test_case "clean schedule passes" `Quick test_clean;
+    Alcotest.test_case "machine overlap" `Quick test_overlap;
+    Alcotest.test_case "non-preemption / restarts" `Quick test_preemption;
+    Alcotest.test_case "release respect" `Quick test_release;
+    Alcotest.test_case "unknown machine" `Quick test_unknown_machine;
+    Alcotest.test_case "reversed segment" `Quick test_reversed_segment;
+    Alcotest.test_case "non-positive speed" `Quick test_bad_speed;
+    Alcotest.test_case "completed without segment" `Quick test_missing_segment;
+    Alcotest.test_case "unknown job" `Quick test_unknown_job;
+    Alcotest.test_case "outcome interval mismatch" `Quick test_outcome_mismatch;
+    Alcotest.test_case "processed volume mismatch" `Quick test_volume_mismatch;
+    Alcotest.test_case "rejection before release" `Quick test_reject_before_release;
+    Alcotest.test_case "segment past rejection" `Quick test_reject_segment_after_time;
+    Alcotest.test_case "rejected at full size" `Quick test_reject_full_size;
+    Alcotest.test_case "deadline miss" `Quick test_deadline;
+    Alcotest.test_case "count budget" `Quick test_budget_count;
+    Alcotest.test_case "weight budget" `Quick test_budget_weight;
+    Alcotest.test_case "metric reconciliation" `Quick test_reconcile;
+    Alcotest.test_case "full check composition" `Quick test_full_check;
+    Alcotest.test_case "assert_clean raises" `Quick test_assert_clean;
+    Alcotest.test_case "violation printing" `Quick test_violation_printing;
+    Alcotest.test_case "violation ordering" `Quick test_violation_order;
+    Alcotest.test_case "telemetry counters" `Quick test_check_obs;
+    Alcotest.test_case "driver ?check hook" `Quick test_driver_check;
+  ]
