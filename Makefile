@@ -32,17 +32,19 @@ quick-bench:
 	REJSCHED_QUICK=1 dune exec bench/main.exe
 
 # Regression gate: tier-1 tests plus the indexed-vs-scan performance
-# baseline.  Writes BENCH_pr4.json (telemetry counter snapshot and pool
+# baseline.  Writes BENCH_pr6.json (telemetry counter snapshot and pool
 # scaling curve embedded) and compares throughput against the newest
 # previous BENCH_*.json; fails if the driver-event microbenchmark
 # speedup — bare or with telemetry recording — drops below 2x, if the
-# pool gates fail (width-1 overhead > 2x; on >=4-core hosts, 4 domains
-# < 2x over sequential; any non-byte-identical output), or any test
-# regresses.
+# flat-core gates fail (events/sec < 2x the PR-4 recorded baseline;
+# allocations/event over the ceiling; flat-vs-boxed schedules not
+# byte-identical), if the pool gates fail (width-1 overhead > 2x; on
+# >=4-core hosts, 4 domains < 2x over sequential; any
+# non-byte-identical output), or any test regresses.
 bench-check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --regression --out BENCH_pr4.json
+	dune exec bench/main.exe -- --regression --out BENCH_pr6.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -9,10 +9,13 @@
    computation, plus a simulator-throughput benchmark (E10).
 
    Part 3 (selected with --regression, output file via --out, default
-   BENCH_pr4.json) is the regression harness behind `make bench-check`:
+   BENCH_pr6.json) is the regression harness behind `make bench-check`:
    it times the indexed driver fast path against the scan-based seed
    references on an overloaded instance — once bare and once with the
-   telemetry layer recording — records end-to-end wall time and
+   telemetry layer recording — times the flat (struct-of-arrays) core
+   against the boxed reference core on the same workload (byte-identical
+   schedules, >= 2x the PR-4 recorded events/sec, an allocations-per-
+   event ceiling) — records end-to-end wall time and
    sequential-vs-parallel scaling, runs the experiment suite on domain
    pools of increasing width (checking byte-identical tables and
    telemetry at every width and recording the speedup curve), embeds the
@@ -321,6 +324,67 @@ let run_regression out_path =
     (float_of_int events /. t_tel)
     (t_tel /. t_opt) tel_speedup;
 
+  (* 3a'': the flat (struct-of-arrays) core against the boxed reference
+     core on the same burst workload — the PR-6 tentpole.  Three checks:
+     the schedules are byte-identical, the flat core clears 2x the
+     events/sec recorded in BENCH_pr4.json, and the steady state stays
+     under an allocations-per-event ceiling read back from the driver's
+     own [Gc.minor_words] loop counters. *)
+  let flat_run impl () =
+    ignore (D.run_schedule ~impl Sched_baselines.Greedy_dispatch.spt inst)
+  in
+  let s_boxed = D.run_schedule ~impl:D.Boxed Sched_baselines.Greedy_dispatch.spt inst in
+  let s_flat = D.run_schedule ~impl:D.Flat Sched_baselines.Greedy_dispatch.spt inst in
+  if
+    Sched_model.Serialize.schedule_to_canonical_string s_flat
+    <> Sched_model.Serialize.schedule_to_canonical_string s_boxed
+  then begin
+    prerr_endline "FAIL: flat core diverges from the boxed core on the burst instance";
+    exit 1
+  end;
+  let t_flat = best_of reps (flat_run D.Flat) in
+  let t_boxed = best_of reps (flat_run D.Boxed) in
+  let flat_eps = float_of_int events /. t_flat in
+  (* The PR-4 recorded throughput this PR promises to double.  Read from
+     the checked-in baseline; the literal is the recorded value, kept as
+     a fallback so a missing file cannot silently weaken the gate. *)
+  let pr4_indexed_events_per_sec =
+    let recorded = 489483.7 in
+    if Sys.file_exists "BENCH_pr4.json" then
+      let content = In_channel.with_open_text "BENCH_pr4.json" In_channel.input_all in
+      match scan_json_field ~key:"indexed_events_per_sec" content with
+      | Some s -> ( match float_of_string_opt s with Some v -> v | None -> recorded)
+      | None -> recorded
+    else recorded
+  in
+  let flat_gain = flat_eps /. pr4_indexed_events_per_sec in
+  (* Allocations per event: one instrumented flat run; the driver wraps
+     its event loop in a [Gc.minor_words] delta and exports both the
+     words and the event count as counters. *)
+  let flat_registry = Sched_obs.Registry.create () in
+  let flat_obs = Sched_obs.Obs.create ~registry:flat_registry () in
+  ignore (D.run_schedule ~obs:flat_obs ~impl:D.Flat Sched_baselines.Greedy_dispatch.spt inst);
+  let counter name =
+    Sched_obs.Metric.Counter.value (Sched_obs.Registry.counter flat_registry name)
+  in
+  let flat_words = counter "sched_flat_loop_minor_words_total" in
+  let flat_loop_events = counter "sched_flat_loop_events_total" in
+  let allocs_per_event = if flat_loop_events > 0. then flat_words /. flat_loop_events else 0. in
+  (* ~137 words/event measured on this overloaded burst with telemetry
+     attached (the residue is the policy-facing interface plus the
+     instrumented run's per-phase timing closures, not driver state);
+     boxing the hot floats again adds tens of words per event, so 160
+     still catches any real regression.  dune runtest pins tighter
+     gates (80/100) on bare-loop instances. *)
+  let allocs_per_event_gate = 160.0 in
+  Printf.printf
+    "  flat core: %.0f ev/s (boxed core %.0f ev/s), %.2fx over PR-4 baseline %.0f ev/s, %.1f \
+     words/event\n\
+     %!"
+    flat_eps
+    (float_of_int events /. t_boxed)
+    flat_gain pr4_indexed_events_per_sec allocs_per_event;
+
   (* Secondary (non-gating): flow-reject, whose lambda pass is O(m k) on
      both sides — the index only accelerates dispatch/select/accounting. *)
   let fr = Option.get (PR.find "flow-reject") in
@@ -419,7 +483,7 @@ let run_regression out_path =
 
   (* JSON baseline. *)
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"pr\": \"pr4\",\n";
+  Printf.bprintf buf "  \"pr\": \"pr6\",\n";
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
   Printf.bprintf buf "  \"driver_event_microbench\": {\n";
   Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
@@ -435,6 +499,18 @@ let run_regression out_path =
   Printf.bprintf buf "    \"speedup_vs_seed\": %.3f,\n" tel_speedup;
   Printf.bprintf buf "    \"snapshot\": %s\n  },\n"
     (String.trim (Sched_obs.Export.json (Sched_obs.Obs.registry obs)));
+  Printf.bprintf buf "  \"flat_core\": {\n";
+  Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
+  Printf.bprintf buf "    \"events\": %d,\n" events;
+  Printf.bprintf buf "    \"flat_seconds\": %.6f,\n" t_flat;
+  Printf.bprintf buf "    \"boxed_seconds\": %.6f,\n" t_boxed;
+  Printf.bprintf buf "    \"flat_events_per_sec\": %.1f,\n" flat_eps;
+  Printf.bprintf buf "    \"boxed_events_per_sec\": %.1f,\n" (float_of_int events /. t_boxed);
+  Printf.bprintf buf "    \"pr4_baseline_events_per_sec\": %.1f,\n" pr4_indexed_events_per_sec;
+  Printf.bprintf buf "    \"gain_vs_pr4_baseline\": %.3f,\n" flat_gain;
+  Printf.bprintf buf "    \"allocs_per_event\": %.2f,\n" allocs_per_event;
+  Printf.bprintf buf "    \"allocs_per_event_gate\": %.1f,\n" allocs_per_event_gate;
+  Printf.bprintf buf "    \"byte_identical\": true\n  },\n";
   Printf.bprintf buf "  \"flow_reject_microbench\": {\n";
   Printf.bprintf buf "    \"n\": %d,\n" (Sched_model.Instance.n fr_inst);
   Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_fr_opt;
@@ -518,6 +594,24 @@ let run_regression out_path =
   end;
   Printf.printf "  PASS: driver-event speedup %.1fx (%.1fx with telemetry) >= 2x gate\n%!" speedup
     tel_speedup;
+  (* Flat-core gates: 2x the PR-4 recorded throughput, and the
+     allocations-per-event ceiling that pins the zero-allocation steady
+     state (the residue is the policy-facing interface, not the loop). *)
+  if flat_gain < 2.0 then begin
+    Printf.eprintf "FAIL: flat core %.0f ev/s is %.2fx the PR-4 baseline %.0f ev/s, below the 2x \
+                    gate\n\
+                    %!"
+      flat_eps flat_gain pr4_indexed_events_per_sec;
+    exit 1
+  end;
+  if allocs_per_event > allocs_per_event_gate then begin
+    Printf.eprintf "FAIL: flat core allocates %.1f words/event, over the %.1f ceiling\n%!"
+      allocs_per_event allocs_per_event_gate;
+    exit 1
+  end;
+  Printf.printf
+    "  PASS: flat core %.1fx over PR-4 baseline (>= 2x gate), %.1f words/event <= %.1f ceiling\n%!"
+    flat_gain allocs_per_event allocs_per_event_gate;
   (* Pool gates.  Width 1 must stay close to sequential (the pool's whole
      overhead budget); the 2x-at-4-domains gate only means something on a
      host that has 4 cores to give. *)
@@ -560,7 +654,7 @@ let () =
             List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv)
           with
           | [ path ] -> path
-          | _ -> "BENCH_pr4.json")
+          | _ -> "BENCH_pr6.json")
     in
     run_regression out
   else begin

@@ -60,6 +60,26 @@ let apply_domains = function
         exit 2);
       Sched_stats.Pool.set_default_domains d
 
+let impl_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some Sched_sim.Driver.Flat,
+            info [ "flat" ]
+              ~doc:"Run on the flat (struct-of-arrays) driver core.  The default." );
+          ( Some Sched_sim.Driver.Boxed,
+            info [ "no-flat" ]
+              ~doc:"Run on the boxed reference driver core instead of the flat one — the \
+                    escape hatch for bisecting a suspected flat-core divergence.  Schedules, \
+                    traces and metrics are byte-identical on both cores; only throughput \
+                    differs." );
+        ])
+
+let apply_impl = function
+  | None -> ()
+  | Some impl -> Sched_sim.Driver.set_default_impl impl
+
 let sizes_arg =
   let names = List.map fst Suite.dist_menu in
   let doc = "Override the workload's size distribution: " ^ String.concat ", " names ^ "." in
@@ -120,8 +140,9 @@ let run_cmd =
                    schema-tagged object per event), or to stdout when FILE is '-'.")
   in
   let action policy workload n m seed eps csv gantt svg load swf save segments sizes telemetry
-      trace_ndjson domains =
+      trace_ndjson domains impl =
     apply_domains domains;
+    apply_impl impl;
     let gen = apply_sizes (workload_of_name ~n ~m workload) sizes in
     let inst =
       match (load, swf) with
@@ -209,7 +230,7 @@ let run_cmd =
     Term.(
       const action $ policy_arg $ workload_arg $ n_arg $ m_arg $ seed_arg $ eps_arg $ csv_arg
       $ gantt_arg $ svg_arg $ load_arg $ swf_arg $ save_arg $ segments_arg $ sizes_arg
-      $ telemetry_arg $ trace_ndjson_arg $ domains_arg)
+      $ telemetry_arg $ trace_ndjson_arg $ domains_arg $ impl_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one policy on one synthetic workload and print its metrics.") term
 
@@ -232,8 +253,9 @@ let experiment_cmd =
          & info [ "out" ] ~docv:"DIR"
              ~doc:"Also write every table as a CSV file into DIR (created if missing), plus a MANIFEST.")
   in
-  let action id all quick csv out domains =
+  let action id all quick csv out domains impl =
     apply_domains domains;
+    apply_impl impl;
     let id = if all then "all" else id in
     let manifest = Buffer.create 256 in
     let slugify s =
@@ -297,7 +319,10 @@ let experiment_cmd =
             Out_channel.output_string oc ("experiment,file,title\n" ^ Buffer.contents manifest))
     | _ -> ()
   in
-  let term = Term.(const action $ id_arg $ all_arg $ quick_arg $ csv_arg $ out_arg $ domains_arg) in
+  let term =
+    Term.(
+      const action $ id_arg $ all_arg $ quick_arg $ csv_arg $ out_arg $ domains_arg $ impl_arg)
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's experiment tables (E1..E9, see EXPERIMENTS.md).")
@@ -410,7 +435,8 @@ let fuzz_cmd =
       (Filename.concat dir (Sched_fuzz.Corpus.filename c))
       (fun oc -> Out_channel.output_string oc (Sched_fuzz.Corpus.render c))
   in
-  let action seed budget domains telemetry write_corpus write_seed_corpus quiet =
+  let action seed budget domains impl telemetry write_corpus write_seed_corpus quiet =
+    apply_impl impl;
     apply_domains domains;
     match write_seed_corpus with
     | Some dir ->
@@ -462,7 +488,7 @@ let fuzz_cmd =
   in
   let term =
     Term.(
-      const action $ seed_arg $ budget_arg $ domains_arg $ telemetry_arg $ write_corpus_arg
+      const action $ seed_arg $ budget_arg $ domains_arg $ impl_arg $ telemetry_arg $ write_corpus_arg
       $ write_seed_corpus_arg $ quiet_arg)
   in
   Cmd.v

@@ -98,6 +98,17 @@ let sort_family path =
   | [ "Array"; "stable_sort" ] -> Some `Stable
   | _ -> None
 
+(* Heap constructors take their order as a labelled argument; a
+   polymorphic comparator there is the same RJL002 hazard as in a sort
+   (the simulator's heaps key on floats, where polymorphic compare
+   disagrees with the primitive comparisons the drivers use on NaN and
+   [-0.]).  Matched with or without the [Pqueue] prefix. *)
+let heap_cmp_label path =
+  match List.rev path with
+  | "create" :: "Indexed" :: _ -> Some "cmp"
+  | "create" :: "Iheap" :: _ -> Some "less"
+  | _ -> None
+
 let poly_compare_name = function
   | [ ("compare" | "=" | "<" | ">" | "<=" | ">=" | "<>" | "min" | "max") ] -> true
   | _ -> false
@@ -276,11 +287,19 @@ let check ~(scope : Scope.t) ~file (str : structure) =
           | None -> ()
         end
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
-        match sort_family (path_of txt) with
+        (match sort_family (path_of txt) with
         | Some kind -> (
             match List.filter (fun (l, _) -> l = Asttypes.Nolabel) args with
             | (_, cmp) :: _ -> check_comparator ~unstable:(kind = `Unstable) cmp
             | [] -> ())
+        | None -> ());
+        match heap_cmp_label (path_of txt) with
+        | Some label -> (
+            match
+              List.find_opt (fun (l, _) -> l = Asttypes.Labelled label) args
+            with
+            | Some (_, cmp) -> check_comparator ~unstable:false cmp
+            | None -> ())
         | None -> ())
     | _ -> ());
     Ast_iterator.default_iterator.expr sub e

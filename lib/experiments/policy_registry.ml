@@ -10,6 +10,8 @@ type entry = {
   allow_restarts : bool;
   run : Instance.t -> Schedule.t;
   run_live : Instance.t -> Schedule.t * Driver.live_metrics;
+  run_impl :
+    impl:Driver.impl -> check:bool -> Instance.t -> Schedule.t * Driver.live_metrics;
   reference : (Instance.t -> Schedule.t) option;
   budget : Sched_check.Oracle.budget option;
 }
@@ -22,6 +24,10 @@ let pack ?reference ?budget ?(allow_restarts = false) make_policy name =
     run_live =
       (fun instance ->
         let s, _, live = Driver.run_live (make_policy ()) instance in
+        (s, live));
+    run_impl =
+      (fun ~impl ~check instance ->
+        let s, _, live = Driver.run_live ~check ~impl (make_policy ()) instance in
         (s, live));
     reference =
       Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;

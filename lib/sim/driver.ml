@@ -3,7 +3,27 @@ open Sched_model
 type running = { job : Job.t; started : Time.t; rate : float; finish : Time.t }
 
 (* ------------------------------------------------------------------ *)
-(* Indexed pending sets.
+(* The driver has two interchangeable cores:
+
+   - [Boxed]: the original implementation over [Job.t] records and
+     [Pqueue.Indexed] heaps of boxed keys — the differential reference;
+   - [Flat]: the default, running the same event loop over
+     [Flat_state]'s struct-of-arrays representation so the steady state
+     allocates nothing on the minor heap.
+
+   Both produce byte-identical schedules, traces and telemetry (the
+   differential suite pins this across the fuzz corpus and every
+   registry policy); policies cannot observe which core is running —
+   the [view] accessors below branch on it. *)
+
+type impl = Boxed | Flat
+
+let default_impl_ref = ref Flat
+let set_default_impl i = default_impl_ref := i
+let default_impl () = !default_impl_ref
+
+(* ------------------------------------------------------------------ *)
+(* Indexed pending sets (boxed core).
 
    Every ordering a policy may query is maintained as a Pqueue.Indexed
    heap over the machine's pending jobs, so insert, arbitrary removal
@@ -161,37 +181,108 @@ type state = {
           restart relaxation for [?check]. *)
 }
 
-type view = state
+(* The read-only window a policy looks through.  Wrapped once per run —
+   never per call — so the hot path pays a tag dispatch, not an
+   allocation. *)
+type view = V_boxed of state | V_flat of Flat_state.t
 
-let now (v : view) = v.clock
-let running_on (v : view) i = v.machines.(i).m_running
+let now = function V_boxed st -> st.clock | V_flat fs -> Flat_state.clock fs
 
-let remaining_volume (v : view) i =
-  match v.machines.(i).m_running with
-  | None -> 0.
-  | Some r -> Float.max 0. ((r.finish -. v.clock) *. r.rate)
+let running_on v i =
+  match v with
+  | V_boxed st -> st.machines.(i).m_running
+  | V_flat fs ->
+      let id = Flat_state.run_job fs i in
+      if id < 0 then None
+      else
+        Some
+          {
+            job = Flat_state.job fs id;
+            started = Flat_state.run_started fs i;
+            rate = Flat_state.run_rate fs i;
+            finish = Flat_state.run_finish fs i;
+          }
 
-let remaining_time (v : view) i =
-  match v.machines.(i).m_running with None -> 0. | Some r -> Float.max 0. (r.finish -. v.clock)
+let remaining_volume v i =
+  match v with
+  | V_boxed st -> (
+      match st.machines.(i).m_running with
+      | None -> 0.
+      | Some r -> Float.max 0. ((r.finish -. st.clock) *. r.rate))
+  | V_flat fs ->
+      if Flat_state.run_job fs i < 0 then 0.
+      else
+        Float.max 0.
+          ((Flat_state.run_finish fs i -. Flat_state.clock fs) *. Flat_state.run_rate fs i)
 
-let pending (v : view) i =
-  List.rev
-    (Pqueue.Indexed.fold v.machines.(i).m_pend.by_spt ~init:[] ~f:(fun acc _ j () -> j :: acc))
+let remaining_time v i =
+  match v with
+  | V_boxed st -> (
+      match st.machines.(i).m_running with
+      | None -> 0.
+      | Some r -> Float.max 0. (r.finish -. st.clock))
+  | V_flat fs ->
+      if Flat_state.run_job fs i < 0 then 0.
+      else Float.max 0. (Flat_state.run_finish fs i -. Flat_state.clock fs)
 
-let pending_iter (v : view) i f =
-  Pqueue.Indexed.iter v.machines.(i).m_pend.by_spt ~f:(fun _ j () -> f j)
+let pending v i =
+  match v with
+  | V_boxed st ->
+      List.rev
+        (Pqueue.Indexed.fold st.machines.(i).m_pend.by_spt ~init:[]
+           ~f:(fun acc _ j () -> j :: acc))
+  | V_flat fs ->
+      let acc = ref [] in
+      Flat_state.pend_iter fs i ~f:(fun id -> acc := Flat_state.job fs id :: !acc);
+      List.rev !acc
 
-let pending_count (v : view) i = pend_count v.machines.(i).m_pend
-let pending_work (v : view) i = v.machines.(i).m_pend.p_work
-let pending_weight (v : view) i = v.machines.(i).m_pend.p_weight
+let pending_iter v i f =
+  match v with
+  | V_boxed st -> Pqueue.Indexed.iter st.machines.(i).m_pend.by_spt ~f:(fun _ j () -> f j)
+  | V_flat fs -> Flat_state.pend_iter fs i ~f:(fun id -> f (Flat_state.job fs id))
+
+let pending_count v i =
+  match v with
+  | V_boxed st -> pend_count st.machines.(i).m_pend
+  | V_flat fs -> Flat_state.pend_count fs i
+
+let pending_work v i =
+  match v with
+  | V_boxed st -> st.machines.(i).m_pend.p_work
+  | V_flat fs -> Flat_state.pend_work fs i
+
+let pending_weight v i =
+  match v with
+  | V_boxed st -> st.machines.(i).m_pend.p_weight
+  | V_flat fs -> Flat_state.pend_weight fs i
 
 let head q = match Pqueue.Indexed.min_elt q with None -> None | Some (_, j, ()) -> Some j
+let flat_head fs id = if id < 0 then None else Some (Flat_state.job fs id)
 
-let pending_shortest (v : view) i = head v.machines.(i).m_pend.by_spt
-let pending_longest (v : view) i = head v.machines.(i).m_pend.by_spt_rev
-let pending_densest (v : view) i = head v.machines.(i).m_pend.by_density
-let pending_longest_tie_id (v : view) i = head v.machines.(i).m_pend.by_size_id
-let pending_earliest (v : view) i = head v.machines.(i).m_pend.by_fifo
+let pending_shortest v i =
+  match v with
+  | V_boxed st -> head st.machines.(i).m_pend.by_spt
+  | V_flat fs -> flat_head fs (Flat_state.head_spt fs i)
+
+let pending_longest v i =
+  match v with
+  | V_boxed st -> head st.machines.(i).m_pend.by_spt_rev
+  | V_flat fs -> flat_head fs (Flat_state.head_spt_rev fs i)
+
+let pending_densest v i =
+  match v with
+  | V_boxed st -> head st.machines.(i).m_pend.by_density
+  | V_flat fs -> flat_head fs (Flat_state.head_density fs i)
+
+let pending_longest_tie_id v i =
+  match v with
+  | V_boxed st -> head st.machines.(i).m_pend.by_size_id
+  | V_flat fs -> flat_head fs (Flat_state.head_size_id fs i)
+
+let pending_earliest v i =
+  match v with
+  | V_boxed st -> head st.machines.(i).m_pend.by_fifo
+  | V_flat fs -> flat_head fs (Flat_state.head_fifo fs i)
 
 type live_metrics = {
   flow : Metrics.flow;
@@ -200,31 +291,48 @@ type live_metrics = {
   makespan : Time.t;
 }
 
-let live (v : view) =
-  let a = v.acc in
-  let n = Instance.n v.instance in
+let live_of ~completed ~flow ~wflow ~rej_flow ~rej_wflow ~max_flow ~max_stretch ~energy
+    ~makespan ~rejected ~rej_weight ~mid_run ~n ~total_weight =
   {
     flow =
       {
-        Metrics.total = a.a_flow;
-        weighted = a.a_wflow;
-        total_with_rejected = a.a_flow +. a.a_rej_flow;
-        weighted_with_rejected = a.a_wflow +. a.a_rej_wflow;
-        max_flow = a.a_max_flow;
-        mean_flow = (if a.a_completed = 0 then 0. else a.a_flow /. float_of_int a.a_completed);
-        max_stretch = a.a_max_stretch;
+        Metrics.total = flow;
+        weighted = wflow;
+        total_with_rejected = flow +. rej_flow;
+        weighted_with_rejected = wflow +. rej_wflow;
+        max_flow;
+        mean_flow = (if completed = 0 then 0. else flow /. float_of_int completed);
+        max_stretch;
       };
-    energy = a.a_energy;
+    energy;
     rejection =
       {
-        Metrics.count = a.a_rejected;
-        fraction = (if n = 0 then 0. else float_of_int a.a_rejected /. float_of_int n);
-        weight = a.a_rej_weight;
-        weight_fraction = (if v.total_weight = 0. then 0. else a.a_rej_weight /. v.total_weight);
-        mid_run = a.a_mid_run;
+        Metrics.count = rejected;
+        fraction = (if n = 0 then 0. else float_of_int rejected /. float_of_int n);
+        weight = rej_weight;
+        weight_fraction = (if total_weight = 0. then 0. else rej_weight /. total_weight);
+        mid_run;
       };
-    makespan = a.a_makespan;
+    makespan;
   }
+
+let live v =
+  match v with
+  | V_boxed st ->
+      let a = st.acc in
+      live_of ~completed:a.a_completed ~flow:a.a_flow ~wflow:a.a_wflow
+        ~rej_flow:a.a_rej_flow ~rej_wflow:a.a_rej_wflow ~max_flow:a.a_max_flow
+        ~max_stretch:a.a_max_stretch ~energy:a.a_energy ~makespan:a.a_makespan
+        ~rejected:a.a_rejected ~rej_weight:a.a_rej_weight ~mid_run:a.a_mid_run
+        ~n:(Instance.n st.instance) ~total_weight:st.total_weight
+  | V_flat fs ->
+      live_of ~completed:(Flat_state.completed fs) ~flow:(Flat_state.flow fs)
+        ~wflow:(Flat_state.wflow fs) ~rej_flow:(Flat_state.rej_flow fs)
+        ~rej_wflow:(Flat_state.rej_wflow fs) ~max_flow:(Flat_state.max_flow fs)
+        ~max_stretch:(Flat_state.max_stretch fs) ~energy:(Flat_state.energy fs)
+        ~makespan:(Flat_state.makespan fs) ~rejected:(Flat_state.rejected fs)
+        ~rej_weight:(Flat_state.rej_weight fs) ~mid_run:(Flat_state.mid_run fs)
+        ~n:(Flat_state.n fs) ~total_weight:(Flat_state.total_weight fs)
 
 type decision = { dispatch_to : Machine.id; reject : Job.id list; restart : Job.id list }
 
@@ -243,7 +351,8 @@ type event = Arrival of Job.t | Finish of Machine.id * int
 
 (* Event ordering at equal times: completions before arrivals, so that a
    policy dispatching at time t sees machines that just finished as idle;
-   within a kind, insertion sequence (deterministic). *)
+   within a kind, insertion sequence (deterministic).  The flat core
+   encodes the same tags through [Pqueue.Events.Key]. *)
 let tag_finish seq = seq
 let tag_arrival seq = (1 lsl 40) + seq
 
@@ -394,7 +503,7 @@ let restart_job st id =
   | Pending _ | Unreleased | Settled ->
       invalid_arg (Printf.sprintf "Driver: restarting job %d that is not running" id)
 
-let try_start st queue seq policy pstate i =
+let try_start st vw queue seq policy pstate i =
   let ms = st.machines.(i) in
   match ms.m_running with
   | Some _ -> ()
@@ -402,9 +511,9 @@ let try_start st queue seq policy pstate i =
       if pend_count ms.m_pend > 0 then begin
         let choice =
           match st.instr with
-          | None -> policy.select pstate st i
+          | None -> policy.select pstate vw i
           | Some ins ->
-              Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate st i)
+              Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate vw i)
         in
         match choice with
         | None -> ()
@@ -436,8 +545,7 @@ let try_start st queue seq policy pstate i =
 (* Post-run oracle audit for [?check].  The oracle re-derives every
    invariant from scratch (independent of [Schedule.validate] and of the
    incremental accumulators), so a pass here really is a second opinion. *)
-let audit ?obs policy st schedule =
-  let lm = live st in
+let audit ?obs ~name ~saw_restart lm schedule =
   let snap =
     {
       Sched_check.Oracle.flow = lm.flow;
@@ -446,14 +554,14 @@ let audit ?obs policy st schedule =
       makespan = lm.makespan;
     }
   in
-  let mode = Sched_check.Oracle.mode ~allow_restarts:st.saw_restart () in
+  let mode = Sched_check.Oracle.mode ~allow_restarts:saw_restart () in
   let vs = Sched_check.Oracle.check ~mode ~live:snap schedule in
   (match obs with
   | Some o -> Sched_check.Check_obs.record (Sched_obs.Obs.registry o) vs
   | None -> ());
-  Sched_check.Oracle.assert_clean ~what:policy.name vs
+  Sched_check.Oracle.assert_clean ~what:name vs
 
-let run_state ?trace ?obs ?(check = false) policy instance =
+let run_boxed ?trace ?obs ?(check = false) policy instance =
   let m = Instance.m instance in
   let st =
     {
@@ -484,6 +592,7 @@ let run_state ?trace ?obs ?(check = false) policy instance =
       saw_restart = false;
     }
   in
+  let vw = V_boxed st in
   let pstate = policy.init instance in
   let queue = Pqueue.create () in
   let seq = ref 0 in
@@ -522,15 +631,15 @@ let run_state ?trace ?obs ?(check = false) policy instance =
                 | Some ins ->
                     Sched_obs.Metric.Counter.inc ins.c_complete;
                     Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
-                try_start st queue seq policy pstate i
+                try_start st vw queue seq policy pstate i
             | _ -> () (* Stale event: the job was rejected mid-run. *))
         | Arrival j ->
             let decision =
               match st.instr with
-              | None -> policy.on_arrival pstate st j
+              | None -> policy.on_arrival pstate vw j
               | Some ins ->
                   Sched_obs.Sink.time ins.i_sink phase_on_arrival (fun () ->
-                      policy.on_arrival pstate st j)
+                      policy.on_arrival pstate vw j)
             in
             let i = decision.dispatch_to in
             if i < 0 || i >= m then
@@ -550,7 +659,9 @@ let run_state ?trace ?obs ?(check = false) policy instance =
                 Sched_obs.Metric.Gauge.inc ins.g_inflight.(i));
             let touched = List.map (reject_job st) decision.reject in
             let touched = touched @ List.map (restart_job st) decision.restart in
-            List.iter (try_start st queue seq policy pstate) (List.sort_uniq Int.compare (i :: touched)));
+            List.iter
+              (try_start st vw queue seq policy pstate)
+              (List.sort_uniq Int.compare (i :: touched)));
         loop ()
   in
   loop ();
@@ -563,15 +674,277 @@ let run_state ?trace ?obs ?(check = false) policy instance =
           (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i))
     st.machines;
   let schedule = Schedule.finalize st.builder in
-  if check then audit ?obs policy st schedule;
-  (schedule, pstate, st)
+  if check then audit ?obs ~name:policy.name ~saw_restart:st.saw_restart (live vw) schedule;
+  (schedule, pstate, vw)
 
-let run ?trace ?obs ?check policy instance =
-  let schedule, pstate, _ = run_state ?trace ?obs ?check policy instance in
+(* ------------------------------------------------------------------ *)
+(* The flat core.  Same event loop, same validation, same trace/telemetry
+   sites, same float-operation order — but over [Flat_state]'s unboxed
+   arrays, so the steady state allocates nothing beyond what the policy
+   itself builds.  Every step below is a mirror of a [run_boxed] step;
+   when editing one, edit both. *)
+
+let c_flat_minor_words_name = "sched_flat_loop_minor_words_total"
+let c_flat_events_name = "sched_flat_loop_events_total"
+
+let run_flat ?trace ?obs ?(check = false) policy instance =
+  let m = Instance.m instance in
+  let fs = Flat_state.of_instance instance in
+  let vw = V_flat fs in
+  let instr = match obs with None -> None | Some o -> Some (make_instr o m) in
+  let pstate = policy.init instance in
+  Flat_state.seed_arrivals fs;
+  let lay_segment ~job ~machine ~start ~stop ~speed =
+    match instr with
+    | None -> Flat_state.lay_segment fs ~job ~machine ~start ~stop ~speed
+    | Some ins ->
+        Sched_obs.Sink.time ins.i_sink phase_segment (fun () ->
+            Flat_state.lay_segment fs ~job ~machine ~start ~stop ~speed)
+  in
+  let reject_job id =
+    let t = Flat_state.clock fs in
+    let l = Flat_state.loc fs id in
+    if Flat_state.loc_is_pending l then begin
+      let i = Flat_state.loc_machine l in
+      if not (Flat_state.pend_remove fs i id) then
+        invalid_arg (Printf.sprintf "Driver: job %d not pending" id);
+      Flat_state.set_loc fs id Flat_state.loc_settled;
+      (match trace with
+      | None -> ()
+      | Some tr ->
+          Trace.record tr t
+            (Trace.Reject
+               {
+                 job = id;
+                 machine = i;
+                 was_running = false;
+                 remaining = Flat_state.size fs ~machine:i ~job:id;
+               }));
+      (match instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_reject;
+          Sched_obs.Metric.Gauge.dec ins.g_pending.(i);
+          Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
+      Flat_state.outcome_rejected fs ~job:id ~machine:i ~time:t ~was_running:false;
+      Flat_state.account_rejection fs id t ~was_running:false;
+      i
+    end
+    else if Flat_state.loc_is_running l then begin
+      let i = Flat_state.loc_machine l in
+      let started = Flat_state.run_started fs i
+      and rate = Flat_state.run_rate fs i
+      and fin = Flat_state.run_finish fs i in
+      Flat_state.clear_running fs i;
+      Flat_state.bump_epoch fs i;
+      Flat_state.set_loc fs id Flat_state.loc_settled;
+      let was_running = Time.gt t started in
+      if was_running then
+        lay_segment ~job:id ~machine:i ~start:started ~stop:t ~speed:rate;
+      let remaining = Float.max 0. ((fin -. t) *. rate) in
+      (match trace with
+      | None -> ()
+      | Some tr ->
+          Trace.record tr t (Trace.Reject { job = id; machine = i; was_running; remaining }));
+      (match instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_reject;
+          if was_running then Sched_obs.Metric.Counter.inc ins.c_reject_midrun;
+          Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
+      Flat_state.outcome_rejected fs ~job:id ~machine:i ~time:t ~was_running;
+      Flat_state.account_rejection fs id t ~was_running;
+      i
+    end
+    else if l = Flat_state.loc_unreleased then
+      invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id)
+    else invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id)
+  in
+  let restart_job id =
+    let t = Flat_state.clock fs in
+    let l = Flat_state.loc fs id in
+    if Flat_state.loc_is_running l then begin
+      let i = Flat_state.loc_machine l in
+      let started = Flat_state.run_started fs i and rate = Flat_state.run_rate fs i in
+      Flat_state.clear_running fs i;
+      Flat_state.bump_epoch fs i;
+      if Time.gt t started then lay_segment ~job:id ~machine:i ~start:started ~stop:t ~speed:rate;
+      let wasted = Float.max 0. ((t -. started) *. rate) in
+      Flat_state.set_saw_restart fs;
+      (match trace with
+      | None -> ()
+      | Some tr -> Trace.record tr t (Trace.Restart { job = id; machine = i; wasted }));
+      (match instr with
+      | None -> ()
+      | Some ins ->
+          Sched_obs.Metric.Counter.inc ins.c_restart;
+          Sched_obs.Metric.Gauge.inc ins.g_pending.(i));
+      Flat_state.pend_add fs i id;
+      Flat_state.set_loc fs id (Flat_state.loc_pending ~machine:i);
+      i
+    end
+    else invalid_arg (Printf.sprintf "Driver: restarting job %d that is not running" id)
+  in
+  let try_start i =
+    if Flat_state.run_job fs i < 0 && Flat_state.pend_count fs i > 0 then begin
+      let choice =
+        match instr with
+        | None -> policy.select pstate vw i
+        | Some ins ->
+            Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate vw i)
+      in
+      match choice with
+      | None -> ()
+      | Some { job; speed } ->
+          if speed <= 0. || not (Float.is_finite speed) then
+            invalid_arg (Printf.sprintf "Driver: policy %s chose speed %g" policy.name speed);
+          let l = Flat_state.loc fs job in
+          if not (Flat_state.loc_is_pending l && Flat_state.loc_machine l = i) then
+            invalid_arg (Printf.sprintf "Driver: job %d is not pending on machine %d" job i);
+          if not (Flat_state.pend_remove fs i job) then
+            invalid_arg (Printf.sprintf "Driver: job %d not pending" job);
+          let rate = speed *. Flat_state.mach_speed fs i in
+          let size = Flat_state.size fs ~machine:i ~job in
+          if not (Float.is_finite size) then
+            invalid_arg (Printf.sprintf "Driver: starting job %d on ineligible machine %d" job i);
+          let clock = Flat_state.clock fs in
+          let finish = clock +. (size /. rate) in
+          Flat_state.set_running fs i ~job ~started:clock ~rate ~finish;
+          Flat_state.set_loc fs job (Flat_state.loc_running ~machine:i);
+          (match trace with
+          | None -> ()
+          | Some tr -> Trace.record tr clock (Trace.Start { job; machine = i; speed = rate }));
+          (match instr with
+          | None -> ()
+          | Some ins ->
+              Sched_obs.Metric.Counter.inc ins.c_start;
+              Sched_obs.Metric.Gauge.dec ins.g_pending.(i));
+          Flat_state.push_finish fs ~machine:i ~time:finish
+    end
+  in
+  let pop =
+    match instr with
+    | None -> fun () -> Flat_state.next_event fs
+    | Some ins ->
+        fun () -> Sched_obs.Sink.time ins.i_sink phase_heap (fun () -> Flat_state.next_event fs)
+  in
+  let rec loop () =
+    if pop () then begin
+      Flat_state.set_clock fs (Float.max (Flat_state.clock fs) (Flat_state.ev_time fs));
+      let tag = Flat_state.ev_tag fs in
+      if Pqueue.Events.Key.is_arrival ~tag then begin
+        let id = Flat_state.ev_payload fs in
+        let j = Flat_state.job fs id in
+        let decision =
+          match instr with
+          | None -> policy.on_arrival pstate vw j
+          | Some ins ->
+              Sched_obs.Sink.time ins.i_sink phase_on_arrival (fun () ->
+                  policy.on_arrival pstate vw j)
+        in
+        let i = decision.dispatch_to in
+        if i < 0 || i >= m then
+          invalid_arg (Printf.sprintf "Driver: policy %s dispatched to machine %d" policy.name i);
+        if not (Flat_state.eligible fs ~machine:i ~job:id) then
+          invalid_arg
+            (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
+               policy.name id i);
+        Flat_state.pend_add fs i id;
+        Flat_state.set_loc fs id (Flat_state.loc_pending ~machine:i);
+        (match trace with
+        | None -> ()
+        | Some tr ->
+            Trace.record tr (Flat_state.clock fs) (Trace.Dispatch { job = id; machine = i }));
+        (match instr with
+        | None -> ()
+        | Some ins ->
+            Sched_obs.Metric.Counter.inc ins.c_dispatch;
+            Sched_obs.Metric.Gauge.inc ins.g_pending.(i);
+            Sched_obs.Metric.Gauge.inc ins.g_inflight.(i));
+        (match (decision.reject, decision.restart) with
+        | [], [] ->
+            (* [sort_uniq [i] = [i]]: the common no-rejection case skips
+               the list plumbing but starts exactly the same machine. *)
+            try_start i
+        | reject, restart ->
+            let touched = List.map reject_job reject in
+            let touched = touched @ List.map restart_job restart in
+            List.iter try_start (List.sort_uniq Int.compare (i :: touched)))
+      end
+      else begin
+        let payload = Flat_state.ev_payload fs in
+        let i = Pqueue.Events.Key.machine_of ~payload in
+        let epoch = Pqueue.Events.Key.epoch_of ~payload in
+        let id = Flat_state.run_job fs i in
+        if id >= 0 && Flat_state.epoch fs i = epoch then begin
+          let started = Flat_state.run_started fs i
+          and rate = Flat_state.run_rate fs i
+          and fin = Flat_state.run_finish fs i in
+          Flat_state.clear_running fs i;
+          lay_segment ~job:id ~machine:i ~start:started ~stop:fin ~speed:rate;
+          Flat_state.outcome_completed fs ~job:id ~machine:i ~start:started ~speed:rate
+            ~finish:fin;
+          Flat_state.account_completion fs id fin;
+          Flat_state.set_loc fs id Flat_state.loc_settled;
+          (match trace with
+          | None -> ()
+          | Some tr ->
+              Trace.record tr (Flat_state.clock fs) (Trace.Complete { job = id; machine = i }));
+          (match instr with
+          | None -> ()
+          | Some ins ->
+              Sched_obs.Metric.Counter.inc ins.c_complete;
+              Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
+          try_start i
+        end
+        (* else: stale event, the job was rejected mid-run. *)
+      end;
+      loop ()
+    end
+  in
+  let w0 = Gc.minor_words () in
+  loop ();
+  let w1 = Gc.minor_words () in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      (* The allocations-per-event instrument: minor words allocated across
+         the event loop (policy allocations included — the driver itself
+         contributes none in steady state) over events processed.  The
+         loop runs the queue dry, so pushes = pops. *)
+      let reg = Sched_obs.Obs.registry o in
+      let cw =
+        Sched_obs.Registry.counter reg
+          ~help:"Minor-heap words allocated inside the flat event loop" c_flat_minor_words_name
+      in
+      let ce =
+        Sched_obs.Registry.counter reg ~help:"Events processed by the flat event loop"
+          c_flat_events_name
+      in
+      Sched_obs.Metric.Counter.add cw (w1 -. w0);
+      Sched_obs.Metric.Counter.add ce (float_of_int (Flat_state.events_pushed fs)));
+  for i = 0 to m - 1 do
+    if Flat_state.pend_count fs i > 0 || Flat_state.run_job fs i >= 0 then
+      invalid_arg
+        (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i)
+  done;
+  let schedule = Flat_state.to_schedule fs in
+  if check then
+    audit ?obs ~name:policy.name ~saw_restart:(Flat_state.saw_restart fs) (live vw) schedule;
+  (schedule, pstate, vw)
+
+let run_view ?trace ?obs ?check ?impl policy instance =
+  match (match impl with Some i -> i | None -> !default_impl_ref) with
+  | Boxed -> run_boxed ?trace ?obs ?check policy instance
+  | Flat -> run_flat ?trace ?obs ?check policy instance
+
+let run ?trace ?obs ?check ?impl policy instance =
+  let schedule, pstate, _ = run_view ?trace ?obs ?check ?impl policy instance in
   (schedule, pstate)
 
-let run_live ?trace ?obs ?check policy instance =
-  let schedule, pstate, st = run_state ?trace ?obs ?check policy instance in
-  (schedule, pstate, live st)
+let run_live ?trace ?obs ?check ?impl policy instance =
+  let schedule, pstate, vw = run_view ?trace ?obs ?check ?impl policy instance in
+  (schedule, pstate, live vw)
 
-let run_schedule ?trace ?obs ?check policy instance = fst (run ?trace ?obs ?check policy instance)
+let run_schedule ?trace ?obs ?check ?impl policy instance =
+  fst (run ?trace ?obs ?check ?impl policy instance)

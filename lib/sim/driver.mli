@@ -25,9 +25,32 @@
     dispatch, start and arbitrary-id rejection are all O(log k) in the queue
     length; aggregate pending work/weight are maintained incrementally and
     read in O(1).  Policies should use the [pending_*] accessors below
-    rather than scanning {!pending}. *)
+    rather than scanning {!pending}.
+
+    The driver ships two interchangeable cores (see {!impl}): the boxed
+    original and a struct-of-arrays rewrite ({!Flat_state}, the default)
+    whose steady state allocates nothing on the minor heap.  They produce
+    byte-identical schedules, traces and telemetry — the differential
+    suite pins this across the fuzz corpus and every registry policy —
+    and policies cannot observe which one is running. *)
 
 open Sched_model
+
+(** {1 Implementation selection} *)
+
+type impl =
+  | Boxed  (** The original boxed-record core — the differential reference. *)
+  | Flat
+      (** The flat core: [Flat_state] struct-of-arrays state with a
+          zero-allocation steady state.  The default. *)
+
+val set_default_impl : impl -> unit
+(** Sets the core used when [?impl] is not passed — the [--no-flat]
+    escape hatch for bisecting a suspected flat-core divergence.  Global
+    and not synchronized: set it before spawning pool domains, not
+    concurrently with runs. *)
+
+val default_impl : unit -> impl
 
 (** {1 Read-only view of the driver state} *)
 
@@ -176,22 +199,43 @@ type 'a policy = {
     it. *)
 
 val run :
-  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> ?check:bool -> 'a policy -> Instance.t -> Schedule.t * 'a
+  ?trace:Trace.t ->
+  ?obs:Sched_obs.Obs.t ->
+  ?check:bool ->
+  ?impl:impl ->
+  'a policy ->
+  Instance.t ->
+  Schedule.t * 'a
 (** Simulates the policy on the instance.  Raises [Invalid_argument] on an
     ill-formed policy decision (dispatch to an ineligible machine, rejecting
     an unknown job, starting a non-pending job, non-positive speed).  The
     returned ['a] is the policy's final state, which instrumented policies
-    use to expose analysis data (e.g. the dual variables of Lemma 4). *)
+    use to expose analysis data (e.g. the dual variables of Lemma 4).
+
+    [?impl] picks the core for this run (default: {!default_impl}).  The
+    result does not depend on it; the flat core is ~2x+ faster and, with
+    [?obs], additionally exports counters
+    [sched_flat_loop_minor_words_total] / [sched_flat_loop_events_total] —
+    the [Gc.minor_words] delta across the event loop and the events
+    processed, whose ratio is the allocations-per-event figure the bench
+    and the allocation-regression test gate on. *)
 
 val run_live :
   ?trace:Trace.t ->
   ?obs:Sched_obs.Obs.t ->
   ?check:bool ->
+  ?impl:impl ->
   'a policy ->
   Instance.t ->
   Schedule.t * 'a * live_metrics
 (** [run] additionally returning the final incremental-metrics snapshot. *)
 
 val run_schedule :
-  ?trace:Trace.t -> ?obs:Sched_obs.Obs.t -> ?check:bool -> 'a policy -> Instance.t -> Schedule.t
+  ?trace:Trace.t ->
+  ?obs:Sched_obs.Obs.t ->
+  ?check:bool ->
+  ?impl:impl ->
+  'a policy ->
+  Instance.t ->
+  Schedule.t
 (** [run] dropping the policy state. *)

@@ -1,0 +1,538 @@
+open Sched_model
+
+(* Struct-of-arrays simulation state.
+
+   Everything the driver's inner loop touches per event lives in unboxed
+   [float array]s and [int array]s: job columns by id, machine columns by
+   machine id, per-machine pending heaps over bare ids
+   ([Pqueue.Iheap]), the running slot, the event queue
+   ([Pqueue.Events]) and the metric accumulators.  Once the growable
+   arrays have warmed up, none of the mutators here allocates on the
+   minor heap — the only boxed structures are built at the edges
+   ([of_instance], [to_schedule], and the [Job.t] handles policies read
+   through the driver's view accessors.
+
+   Byte-identity with the boxed driver is a hard requirement, so every
+   float expression below copies the boxed code's operation order
+   verbatim (float addition is not associative), the pending heaps
+   replicate [Pqueue.Indexed]'s slot layout (policies fold floats over
+   [pending_iter]'s heap-array order), and the aggregate work/weight
+   sums are pinned back to exactly [0.] when a queue empties, as the
+   boxed [pend] does. *)
+
+(* Indices into the [facc] float-accumulator array.  A [mutable float]
+   field of a mixed record would be boxed and re-allocated on every
+   write; one flat float array keeps the whole hot-path float state
+   unboxed. *)
+let f_clock = 0
+let f_flow = 1
+let f_wflow = 2
+let f_rej_flow = 3
+let f_rej_wflow = 4
+let f_max_flow = 5
+let f_max_stretch = 6
+let f_energy = 7
+let f_makespan = 8
+let f_rej_weight = 9
+let facc_len = 10
+
+(* [loc] codes, mirroring the boxed driver's [location]: *)
+let loc_unreleased = -1
+let loc_settled = -2
+let loc_pending ~machine = 2 * machine
+let loc_running ~machine = (2 * machine) + 1
+let loc_is_pending l = l >= 0 && l land 1 = 0
+let loc_is_running l = l >= 0 && l land 1 = 1
+let loc_machine l = l asr 1
+
+(* Outcome kinds in [out_kind]: *)
+let out_none = 0
+let out_completed = 1
+let out_rejected = 2
+
+type t = {
+  instance : Instance.t;
+  n : int;
+  m : int;
+  (* Immutable job columns, indexed by job id (ids are 0..n-1). *)
+  jobs : Job.t array;  (* by id, not release order *)
+  release : float array;
+  weight : float array;
+  min_size : float array;
+  size_col : float array;  (* p_ij at [(i * n) + j] *)
+  dens_col : float array;  (* w_j /. p_ij at [(i * n) + j] *)
+  total_weight : float;
+  (* Pending sets: five orders per machine over bare job ids, plus the
+     incremental work/weight aggregates.  Only [by_spt] is observable as
+     a *layout* (through [pend_iter]); the four auxiliary orders expose
+     nothing but their minimum, which each strict total order makes
+     unique regardless of heap shape.  They are therefore maintained
+     lazily: dormant until a policy first asks for their head, then
+     rebuilt from [by_spt] and kept incremental from that point on.
+     Policies that never consult an order never pay for it. *)
+  by_spt : Pqueue.Iheap.t array;
+  by_spt_rev : Pqueue.Iheap.t array;
+  by_density : Pqueue.Iheap.t array;
+  by_size_id : Pqueue.Iheap.t array;
+  by_fifo : Pqueue.Iheap.t array;
+  mutable live_spt_rev : bool;
+  mutable live_density : bool;
+  mutable live_size_id : bool;
+  mutable live_fifo : bool;
+  p_work : float array;
+  p_weight : float array;
+  (* Running slot per machine; [run_job.(i) = -1] when idle. *)
+  run_job : int array;
+  run_started : float array;
+  run_rate : float array;
+  run_finish : float array;
+  epoch : int array;
+  (* Job status (see the [loc_*] codes above). *)
+  loc : int array;
+  (* Event queue and its shared insertion-sequence counter. *)
+  events : Pqueue.Events.t;
+  mutable seq : int;
+  (* Float accumulators (clock + incremental metrics); int counts are
+     immediate and live as plain mutable fields. *)
+  facc : float array;
+  mutable a_completed : int;
+  mutable a_rejected : int;
+  mutable a_mid_run : int;
+  mutable saw_restart : bool;
+  (* Outcomes by job id: kind, machine, start-or-rejection time, speed,
+     finish, mid-run flag. *)
+  out_kind : int array;
+  out_machine : int array;
+  out_t0 : float array;
+  out_speed : float array;
+  out_finish : float array;
+  out_running : bool array;
+  (* Segments in insertion order, in growable parallel arrays. *)
+  mutable seg_job : int array;
+  mutable seg_machine : int array;
+  mutable seg_start : float array;
+  mutable seg_stop : float array;
+  mutable seg_speed : float array;
+  mutable seg_len : int;
+}
+
+(* The strict orders of the five pending heaps.  Each mirrors the boxed
+   driver's [Pqueue.Indexed] order exactly: the comparator's branches in
+   the same sequence (primitive float [<]/[>], so [-0. = 0.] and
+   incomparable infinities fall through), then the id tie-break. *)
+
+let less_spt sz rel base a b =
+  let pa = sz.(base + a) and pb = sz.(base + b) in
+  if pa < pb then true
+  else if pa > pb then false
+  else
+    let ra = rel.(a) and rb = rel.(b) in
+    if ra < rb then true else if ra > rb then false else a < b
+
+let less_spt_rev sz rel base a b =
+  let pa = sz.(base + a) and pb = sz.(base + b) in
+  if pa > pb then true
+  else if pa < pb then false
+  else
+    let ra = rel.(a) and rb = rel.(b) in
+    if ra > rb then true else if ra < rb then false else b < a
+
+let less_density dn rel base a b =
+  let da = dn.(base + a) and db = dn.(base + b) in
+  if da > db then true
+  else if da < db then false
+  else
+    let ra = rel.(a) and rb = rel.(b) in
+    if ra < rb then true else if ra > rb then false else a < b
+
+let less_size_id sz base a b =
+  let pa = sz.(base + a) and pb = sz.(base + b) in
+  if pa > pb then true else if pa < pb then false else b < a
+
+let less_fifo rel a b =
+  let ra = rel.(a) and rb = rel.(b) in
+  if ra < rb then true else if ra > rb then false else a < b
+
+let of_instance instance =
+  let n = Instance.n instance and m = Instance.m instance in
+  if m > Pqueue.Events.Key.max_machine then
+    invalid_arg (Printf.sprintf "Flat_state: %d machines exceed the event-key range" m);
+  let jobs =
+    let by_rel = Instance.jobs_by_release instance in
+    if n = 0 then [||]
+    else begin
+      let a = Array.make n by_rel.(0) in
+      Array.iter (fun (j : Job.t) -> a.(j.Job.id) <- j) by_rel;
+      a
+    end
+  in
+  let release = Array.make n 0. and weight = Array.make n 0. and min_size = Array.make n 0. in
+  Array.iteri
+    (fun id (j : Job.t) ->
+      release.(id) <- j.Job.release;
+      weight.(id) <- j.Job.weight;
+      min_size.(id) <- Job.min_size j)
+    jobs;
+  let size_col = Array.make (max 1 (m * n)) 0. in
+  let dens_col = Array.make (max 1 (m * n)) 0. in
+  for i = 0 to m - 1 do
+    let base = i * n in
+    for id = 0 to n - 1 do
+      let p = Job.size jobs.(id) i in
+      size_col.(base + id) <- p;
+      dens_col.(base + id) <- weight.(id) /. p
+    done
+  done;
+  let heap mk = Array.init m (fun i -> Pqueue.Iheap.create ~less:(mk (i * n)) ()) in
+  {
+    instance;
+    n;
+    m;
+    jobs;
+    release;
+    weight;
+    min_size;
+    size_col;
+    dens_col;
+    total_weight = Instance.total_weight instance;
+    by_spt = heap (fun base -> less_spt size_col release base);
+    by_spt_rev = heap (fun base -> less_spt_rev size_col release base);
+    by_density = heap (fun base -> less_density dens_col release base);
+    by_size_id = heap (fun base -> less_size_id size_col base);
+    by_fifo = Array.init m (fun _ -> Pqueue.Iheap.create ~less:(less_fifo release) ());
+    live_spt_rev = false;
+    live_density = false;
+    live_size_id = false;
+    live_fifo = false;
+    p_work = Array.make m 0.;
+    p_weight = Array.make m 0.;
+    run_job = Array.make m (-1);
+    run_started = Array.make m 0.;
+    run_rate = Array.make m 0.;
+    run_finish = Array.make m 0.;
+    epoch = Array.make m 0;
+    loc = Array.make n loc_unreleased;
+    events = Pqueue.Events.create ();
+    seq = 0;
+    facc = Array.make facc_len 0.;
+    a_completed = 0;
+    a_rejected = 0;
+    a_mid_run = 0;
+    saw_restart = false;
+    out_kind = Array.make n out_none;
+    out_machine = Array.make n 0;
+    out_t0 = Array.make n 0.;
+    out_speed = Array.make n 0.;
+    out_finish = Array.make n 0.;
+    out_running = Array.make n false;
+    seg_job = [||];
+    seg_machine = [||];
+    seg_start = [||];
+    seg_stop = [||];
+    seg_speed = [||];
+    seg_len = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Immutable reads. *)
+
+let instance t = t.instance
+let n t = t.n
+let m t = t.m
+let job t id = t.jobs.(id)
+let release t id = t.release.(id)
+let weight t id = t.weight.(id)
+let min_size t id = t.min_size.(id)
+let size t ~machine ~job = t.size_col.((machine * t.n) + job)
+let eligible t ~machine ~job = Float.is_finite (size t ~machine ~job)
+let density t ~machine ~job = t.dens_col.((machine * t.n) + job)
+let total_weight t = t.total_weight
+let alpha t i = (Instance.machine t.instance i).Machine.alpha
+let mach_speed t i = (Instance.machine t.instance i).Machine.speed
+
+(* ------------------------------------------------------------------ *)
+(* Clock and status. *)
+
+let clock t = t.facc.(f_clock)
+let set_clock t v = t.facc.(f_clock) <- v
+let loc t id = t.loc.(id)
+let set_loc t id l = t.loc.(id) <- l
+let saw_restart t = t.saw_restart
+let set_saw_restart t = t.saw_restart <- true
+
+(* ------------------------------------------------------------------ *)
+(* Pending sets. *)
+
+let pend_add t i id =
+  Pqueue.Iheap.add t.by_spt.(i) ~id;
+  if t.live_spt_rev then Pqueue.Iheap.add t.by_spt_rev.(i) ~id;
+  if t.live_density then Pqueue.Iheap.add t.by_density.(i) ~id;
+  if t.live_size_id then Pqueue.Iheap.add t.by_size_id.(i) ~id;
+  if t.live_fifo then Pqueue.Iheap.add t.by_fifo.(i) ~id;
+  t.p_work.(i) <- t.p_work.(i) +. size t ~machine:i ~job:id;
+  t.p_weight.(i) <- t.p_weight.(i) +. t.weight.(id)
+
+let pend_remove t i id =
+  if not (Pqueue.Iheap.remove t.by_spt.(i) ~id) then false
+  else begin
+    if t.live_spt_rev then ignore (Pqueue.Iheap.remove t.by_spt_rev.(i) ~id);
+    if t.live_density then ignore (Pqueue.Iheap.remove t.by_density.(i) ~id);
+    if t.live_size_id then ignore (Pqueue.Iheap.remove t.by_size_id.(i) ~id);
+    if t.live_fifo then ignore (Pqueue.Iheap.remove t.by_fifo.(i) ~id);
+    if Pqueue.Iheap.is_empty t.by_spt.(i) then begin
+      (* Pin the aggregates back to exactly zero so float cancellation
+         drift cannot survive an empty queue. *)
+      t.p_work.(i) <- 0.;
+      t.p_weight.(i) <- 0.
+    end
+    else begin
+      t.p_work.(i) <- t.p_work.(i) -. size t ~machine:i ~job:id;
+      t.p_weight.(i) <- t.p_weight.(i) -. t.weight.(id)
+    end;
+    true
+  end
+
+let pend_count t i = Pqueue.Iheap.size t.by_spt.(i)
+let pend_work t i = t.p_work.(i)
+let pend_weight t i = t.p_weight.(i)
+let pend_iter t i ~f = Pqueue.Iheap.iter t.by_spt.(i) ~f
+let head_spt t i = Pqueue.Iheap.min_id t.by_spt.(i)
+
+(* First head lookup on a dormant order: fill its heaps from the current
+   pending sets and flip it live.  The rebuilt layout differs from the
+   always-incremental one, but the only observable — the minimum under a
+   strict total order — does not depend on layout. *)
+let wake t aux =
+  for i = 0 to t.m - 1 do
+    Pqueue.Iheap.iter t.by_spt.(i) ~f:(fun id -> Pqueue.Iheap.add aux.(i) ~id)
+  done
+
+let head_spt_rev t i =
+  if not t.live_spt_rev then begin
+    wake t t.by_spt_rev;
+    t.live_spt_rev <- true
+  end;
+  Pqueue.Iheap.min_id t.by_spt_rev.(i)
+
+let head_density t i =
+  if not t.live_density then begin
+    wake t t.by_density;
+    t.live_density <- true
+  end;
+  Pqueue.Iheap.min_id t.by_density.(i)
+
+let head_size_id t i =
+  if not t.live_size_id then begin
+    wake t t.by_size_id;
+    t.live_size_id <- true
+  end;
+  Pqueue.Iheap.min_id t.by_size_id.(i)
+
+let head_fifo t i =
+  if not t.live_fifo then begin
+    wake t t.by_fifo;
+    t.live_fifo <- true
+  end;
+  Pqueue.Iheap.min_id t.by_fifo.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Running slots. *)
+
+let run_job t i = t.run_job.(i)
+let run_started t i = t.run_started.(i)
+let run_rate t i = t.run_rate.(i)
+let run_finish t i = t.run_finish.(i)
+let epoch t i = t.epoch.(i)
+let bump_epoch t i = t.epoch.(i) <- t.epoch.(i) + 1
+
+let set_running t i ~job ~started ~rate ~finish =
+  t.run_job.(i) <- job;
+  t.run_started.(i) <- started;
+  t.run_rate.(i) <- rate;
+  t.run_finish.(i) <- finish
+
+let clear_running t i = t.run_job.(i) <- -1
+
+(* ------------------------------------------------------------------ *)
+(* Events.  The shared [seq] counter mirrors the boxed driver's: arrivals
+   are seeded first (in release order), completions take the next values
+   as starts happen, so tags — and therefore equal-time ordering — come
+   out identical. *)
+
+let seed_arrivals t =
+  Array.iter
+    (fun (j : Job.t) ->
+      t.seq <- t.seq + 1;
+      Pqueue.Events.push t.events ~key:j.Job.release
+        ~tag:(Pqueue.Events.Key.arrival_tag ~seq:t.seq)
+        ~payload:j.Job.id)
+    (Instance.jobs_by_release t.instance)
+
+let push_finish t ~machine ~time =
+  t.seq <- t.seq + 1;
+  Pqueue.Events.push t.events ~key:time
+    ~tag:(Pqueue.Events.Key.finish_tag ~seq:t.seq)
+    ~payload:(Pqueue.Events.Key.finish_payload ~machine ~epoch:t.epoch.(machine))
+
+let next_event t = Pqueue.Events.pop t.events
+let events_pushed t = t.seq
+let ev_time t = Pqueue.Events.key t.events
+let ev_tag t = Pqueue.Events.tag t.events
+let ev_payload t = Pqueue.Events.payload t.events
+
+(* ------------------------------------------------------------------ *)
+(* Segments and accounting.  Operation order copies the boxed driver's
+   [lay_segment_raw] / [account_completion] / [account_rejection]
+   verbatim — float addition is not associative, and the differential
+   tests demand byte-identity, not closeness. *)
+
+let grow_segments t =
+  let cap = Array.length t.seg_job in
+  if t.seg_len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nj = Array.make ncap 0
+    and nm = Array.make ncap 0
+    and na = Array.make ncap 0.
+    and no = Array.make ncap 0.
+    and ns = Array.make ncap 0. in
+    Array.blit t.seg_job 0 nj 0 t.seg_len;
+    Array.blit t.seg_machine 0 nm 0 t.seg_len;
+    Array.blit t.seg_start 0 na 0 t.seg_len;
+    Array.blit t.seg_stop 0 no 0 t.seg_len;
+    Array.blit t.seg_speed 0 ns 0 t.seg_len;
+    t.seg_job <- nj;
+    t.seg_machine <- nm;
+    t.seg_start <- na;
+    t.seg_stop <- no;
+    t.seg_speed <- ns
+  end
+
+let lay_segment t ~job ~machine ~start ~stop ~speed =
+  grow_segments t;
+  let s = t.seg_len in
+  t.seg_job.(s) <- job;
+  t.seg_machine.(s) <- machine;
+  t.seg_start.(s) <- start;
+  t.seg_stop.(s) <- stop;
+  t.seg_speed.(s) <- speed;
+  t.seg_len <- s + 1;
+  t.facc.(f_energy) <- t.facc.(f_energy) +. ((stop -. start) *. (speed ** alpha t machine));
+  if stop > t.facc.(f_makespan) then t.facc.(f_makespan) <- stop
+
+let seg_count t = t.seg_len
+
+let account_completion t id finish =
+  let f = finish -. t.release.(id) in
+  t.a_completed <- t.a_completed + 1;
+  t.facc.(f_flow) <- t.facc.(f_flow) +. f;
+  t.facc.(f_wflow) <- t.facc.(f_wflow) +. (t.weight.(id) *. f);
+  if f > t.facc.(f_max_flow) then t.facc.(f_max_flow) <- f;
+  let stretch = f /. t.min_size.(id) in
+  if stretch > t.facc.(f_max_stretch) then t.facc.(f_max_stretch) <- stretch
+
+let account_rejection t id time ~was_running =
+  let f = time -. t.release.(id) in
+  t.a_rejected <- t.a_rejected + 1;
+  t.facc.(f_rej_flow) <- t.facc.(f_rej_flow) +. f;
+  t.facc.(f_rej_wflow) <- t.facc.(f_rej_wflow) +. (t.weight.(id) *. f);
+  t.facc.(f_rej_weight) <- t.facc.(f_rej_weight) +. t.weight.(id);
+  if was_running then t.a_mid_run <- t.a_mid_run + 1
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes. *)
+
+let check_undecided t id =
+  if t.out_kind.(id) <> out_none then
+    invalid_arg (Printf.sprintf "Flat_state: job %d already decided" id)
+
+let outcome_completed t ~job ~machine ~start ~speed ~finish =
+  check_undecided t job;
+  t.out_kind.(job) <- out_completed;
+  t.out_machine.(job) <- machine;
+  t.out_t0.(job) <- start;
+  t.out_speed.(job) <- speed;
+  t.out_finish.(job) <- finish
+
+let outcome_rejected t ~job ~machine ~time ~was_running =
+  check_undecided t job;
+  t.out_kind.(job) <- out_rejected;
+  t.out_machine.(job) <- machine;
+  t.out_t0.(job) <- time;
+  t.out_running.(job) <- was_running
+
+(* ------------------------------------------------------------------ *)
+(* Live metrics, read out of the accumulators.  The field-by-field
+   arithmetic matches the boxed driver's [live]. *)
+
+let completed t = t.a_completed
+let rejected t = t.a_rejected
+let mid_run t = t.a_mid_run
+let flow t = t.facc.(f_flow)
+let wflow t = t.facc.(f_wflow)
+let rej_flow t = t.facc.(f_rej_flow)
+let rej_wflow t = t.facc.(f_rej_wflow)
+let max_flow t = t.facc.(f_max_flow)
+let max_stretch t = t.facc.(f_max_stretch)
+let energy t = t.facc.(f_energy)
+let makespan t = t.facc.(f_makespan)
+let rej_weight t = t.facc.(f_rej_weight)
+
+(* ------------------------------------------------------------------ *)
+(* Materialization: the one deliberately boxing step, run once at the end
+   of a simulation.  Segments go to the builder in insertion order —
+   exactly the order the boxed driver laid them down — and outcomes by
+   job id (the builder stores them in an id-indexed array, so the order
+   of [set_outcome] calls is immaterial). *)
+
+let to_schedule t =
+  let b = Schedule.builder t.instance in
+  for s = 0 to t.seg_len - 1 do
+    Schedule.add_segment b
+      {
+        Schedule.job = t.seg_job.(s);
+        machine = t.seg_machine.(s);
+        start = t.seg_start.(s);
+        stop = t.seg_stop.(s);
+        speed = t.seg_speed.(s);
+      }
+  done;
+  for id = 0 to t.n - 1 do
+    let k = t.out_kind.(id) in
+    if k = out_completed then
+      Schedule.set_outcome b id
+        (Outcome.Completed
+           {
+             machine = t.out_machine.(id);
+             start = t.out_t0.(id);
+             speed = t.out_speed.(id);
+             finish = t.out_finish.(id);
+           })
+    else if k = out_rejected then
+      Schedule.set_outcome b id
+        (Outcome.Rejected
+           {
+             time = t.out_t0.(id);
+             assigned_to = Some t.out_machine.(id);
+             was_running = t.out_running.(id);
+           })
+  done;
+  Schedule.finalize b
+
+let invariant t =
+  let ok = ref true in
+  for i = 0 to t.m - 1 do
+    if not (Pqueue.Iheap.invariant t.by_spt.(i)) then ok := false;
+    if not (Pqueue.Iheap.invariant t.by_spt_rev.(i)) then ok := false;
+    if not (Pqueue.Iheap.invariant t.by_density.(i)) then ok := false;
+    if not (Pqueue.Iheap.invariant t.by_size_id.(i)) then ok := false;
+    if not (Pqueue.Iheap.invariant t.by_fifo.(i)) then ok := false;
+    let k = Pqueue.Iheap.size t.by_spt.(i) in
+    (* A live auxiliary order mirrors [by_spt] exactly; a dormant one
+       holds nothing at all. *)
+    let aux_ok live aux = Pqueue.Iheap.size aux = if live then k else 0 in
+    if not (aux_ok t.live_spt_rev t.by_spt_rev.(i)) then ok := false;
+    if not (aux_ok t.live_density t.by_density.(i)) then ok := false;
+    if not (aux_ok t.live_size_id t.by_size_id.(i)) then ok := false;
+    if not (aux_ok t.live_fifo t.by_fifo.(i)) then ok := false
+  done;
+  !ok

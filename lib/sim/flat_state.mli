@@ -1,0 +1,195 @@
+(** Struct-of-arrays simulation state: the flat core behind
+    {!Driver}'s default implementation.
+
+    Everything the event loop touches per event — job columns, pending
+    heaps, running slots, the event queue, metric accumulators — lives in
+    unboxed [float array]s and [int array]s indexed by job/machine id, so
+    the steady state allocates nothing on the minor heap once the
+    growable arrays have warmed up.  Boxed values appear only at the
+    edges: {!of_instance} (once, at the start), {!to_schedule} (once, at
+    the end), and the [Job.t] handles policies obtain through the
+    driver's read-only view.
+
+    {b Byte-identity contract.}  The flat core must produce schedules
+    byte-identical to the boxed driver's (the differential suite runs
+    both over the whole fuzz corpus).  Three disciplines make that hold,
+    and must survive any edit here:
+
+    - every float expression copies the boxed code's operation order
+      verbatim (float addition is not associative);
+    - the pending heaps are {!Pqueue.Iheap}s — a line-for-line clone of
+      {!Pqueue.Indexed}'s algorithm — driven by the same operation
+      sequence, so [pend_iter]'s heap-array order (which policies fold
+      floats over) coincides slot-for-slot;
+    - event tags come from the same shared sequence counter, seeded by
+      arrivals in release order, so equal-time event ordering matches.
+
+    Mutators here do {e no} validation beyond array bounds; the driver
+    enforces the policy-facing contract (and raises the user-facing
+    [Invalid_argument]s) before calling in. *)
+
+open Sched_model
+
+type t
+
+val of_instance : Instance.t -> t
+(** Builds the flat mirror of the instance: job columns by id, size and
+    density columns per machine, empty pending/running/event state.
+    Raises [Invalid_argument] if the machine count exceeds the event-key
+    range ({!Pqueue.Events.Key.max_machine}). *)
+
+(** {1 Status codes}
+
+    [loc] mirrors the boxed driver's location type as an int:
+    [loc_unreleased], [loc_settled], or an even/odd encoding of
+    pending/running on a machine. *)
+
+val loc_unreleased : int
+val loc_settled : int
+val loc_pending : machine:int -> int
+val loc_running : machine:int -> int
+val loc_is_pending : int -> bool
+val loc_is_running : int -> bool
+
+val loc_machine : int -> int
+(** The machine of a pending/running code (meaningless for the negative
+    codes). *)
+
+(** {1 Immutable reads} *)
+
+val instance : t -> Instance.t
+val n : t -> int
+val m : t -> int
+
+val job : t -> int -> Job.t
+(** The boxed job handle, for the view accessors — O(1), no search. *)
+
+val release : t -> int -> float
+val weight : t -> int -> float
+val min_size : t -> int -> float
+val size : t -> machine:int -> job:int -> float
+val eligible : t -> machine:int -> job:int -> bool
+val density : t -> machine:int -> job:int -> float
+val total_weight : t -> float
+val alpha : t -> int -> float
+val mach_speed : t -> int -> float
+
+(** {1 Clock and status} *)
+
+val clock : t -> float
+val set_clock : t -> float -> unit
+val loc : t -> int -> int
+val set_loc : t -> int -> int -> unit
+val saw_restart : t -> bool
+val set_saw_restart : t -> unit
+
+(** {1 Pending sets}
+
+    Five orders per machine (SPT, reverse SPT, weighted density,
+    size-then-id, FIFO — the same orders as the boxed driver's heaps)
+    plus O(1) incremental work/weight aggregates, pinned to exactly [0.]
+    when the queue empties. *)
+
+val pend_add : t -> int -> int -> unit
+(** [pend_add t i id] — raises [Invalid_argument] if already present. *)
+
+val pend_remove : t -> int -> int -> bool
+(** [pend_remove t i id] — [false] when [id] is not pending on [i]. *)
+
+val pend_count : t -> int -> int
+val pend_work : t -> int -> float
+val pend_weight : t -> int -> float
+
+val pend_iter : t -> int -> f:(int -> unit) -> unit
+(** Heap-array order of the SPT heap — slot-for-slot the order the boxed
+    driver's [pending_iter] exposes. *)
+
+val head_spt : t -> int -> int
+(** Head job id of the given order, [-1] when the queue is empty. *)
+
+val head_spt_rev : t -> int -> int
+val head_density : t -> int -> int
+val head_size_id : t -> int -> int
+val head_fifo : t -> int -> int
+
+(** {1 Running slots} *)
+
+val run_job : t -> int -> int
+(** Running job id on the machine, [-1] when idle. *)
+
+val run_started : t -> int -> float
+val run_rate : t -> int -> float
+val run_finish : t -> int -> float
+val epoch : t -> int -> int
+val bump_epoch : t -> int -> unit
+val set_running : t -> int -> job:int -> started:float -> rate:float -> finish:float -> unit
+val clear_running : t -> int -> unit
+
+(** {1 Events}
+
+    Backed by {!Pqueue.Events}; the popped event is read back through the
+    [ev_*] cursor accessors, so the loop never allocates an option. *)
+
+val seed_arrivals : t -> unit
+(** Pushes every job's arrival in release order, consuming the shared
+    sequence counter — call exactly once, before the first
+    {!push_finish}. *)
+
+val push_finish : t -> machine:int -> time:float -> unit
+(** Schedules a completion at [time] for the machine's {e current}
+    epoch. *)
+
+val next_event : t -> bool
+
+val events_pushed : t -> int
+(** Total events pushed so far (arrivals + scheduled completions).  Once
+    the queue has drained, this equals the number of events the loop
+    processed — the denominator of the allocations-per-event metric. *)
+
+val ev_time : t -> float
+val ev_tag : t -> int
+val ev_payload : t -> int
+
+(** {1 Segments, accounting, outcomes} *)
+
+val lay_segment :
+  t -> job:int -> machine:int -> start:float -> stop:float -> speed:float -> unit
+(** Appends the segment and folds it into the energy/makespan
+    accumulators, in the boxed driver's float-operation order. *)
+
+val seg_count : t -> int
+val account_completion : t -> int -> float -> unit
+val account_rejection : t -> int -> float -> was_running:bool -> unit
+
+val outcome_completed :
+  t -> job:int -> machine:int -> start:float -> speed:float -> finish:float -> unit
+(** Raises [Invalid_argument] when the job already has an outcome. *)
+
+val outcome_rejected : t -> job:int -> machine:int -> time:float -> was_running:bool -> unit
+
+(** {1 Accumulator reads} *)
+
+val completed : t -> int
+val rejected : t -> int
+val mid_run : t -> int
+val flow : t -> float
+val wflow : t -> float
+val rej_flow : t -> float
+val rej_wflow : t -> float
+val max_flow : t -> float
+val max_stretch : t -> float
+val energy : t -> float
+val makespan : t -> float
+val rej_weight : t -> float
+
+(** {1 Materialization} *)
+
+val to_schedule : t -> Schedule.t
+(** Builds the boxed schedule: segments in insertion order (the order the
+    boxed driver laid them down), outcomes by job id.  Raises
+    [Invalid_argument] if some job has no outcome.  The one deliberately
+    boxing step, run once per simulation. *)
+
+val invariant : t -> bool
+(** Structural check (all five heaps consistent and equal-sized per
+    machine), for tests. *)

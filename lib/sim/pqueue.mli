@@ -20,6 +20,68 @@ val peek : 'a t -> (float * int * 'a) option
 
 val clear : 'a t -> unit
 
+(** Flat event queue: the allocation-free counterpart of the polymorphic
+    heap above, ordered by the same [(key, tag)] lexicographic rule with
+    primitive float/int comparisons ([-0.] equals [0.], as everywhere else
+    in the simulator).  Keys, tags and payloads live in parallel unboxed
+    arrays and [pop] deposits the minimum into cursor fields read back via
+    {!Events.key}/{!Events.tag}/{!Events.payload}, so the driver's steady
+    state never touches the minor heap.  Keys must be finite and tags
+    unique while queued. *)
+module Events : sig
+  (** Int-encoded event keys.  A tag is the insertion sequence plus, for
+      arrivals, a high kind bit — so at equal times completions (bit
+      clear) sort before arrivals (bit set), and within a kind the
+      sequence decides, exactly as the boxed driver's tags do.  A
+      completion payload packs [(machine, epoch)] into one int.  Encoders
+      raise [Invalid_argument] out of range; within range, encode/decode
+      is a bijection (property-tested). *)
+  module Key : sig
+    val max_seq : int
+    (** Largest encodable sequence number, [2^40 - 1]. *)
+
+    val max_machine : int
+    (** Largest encodable machine id, [2^20 - 1]. *)
+
+    val max_epoch : int
+    (** Largest encodable epoch, [2^42 - 1]. *)
+
+    val finish_tag : seq:int -> int
+    val arrival_tag : seq:int -> int
+    val is_arrival : tag:int -> bool
+    val seq_of : tag:int -> int
+
+    val finish_payload : machine:int -> epoch:int -> int
+    val machine_of : payload:int -> int
+    val epoch_of : payload:int -> int
+
+    val compare : float -> int -> float -> int -> int
+    (** [compare k1 t1 k2 t2] is the total order the queue realizes over
+        [(key, tag)] pairs with finite keys and unique tags: keys first
+        (primitive float comparison), tags second ([Int.compare]).
+        Exposed for the total-order property tests. *)
+  end
+
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val is_empty : t -> bool
+  val push : t -> key:float -> tag:int -> payload:int -> unit
+
+  val pop : t -> bool
+  (** Removes the minimum, depositing it in the cursor; [false] when
+      empty.  Allocation-free. *)
+
+  val key : t -> float
+  (** Key of the most recently popped event.  Meaningless before the
+      first successful {!pop}. *)
+
+  val tag : t -> int
+  val payload : t -> int
+  val clear : t -> unit
+end
+
 (** Indexed min-heap: a binary heap that additionally tracks the heap slot
     of every element by a caller-supplied non-negative integer id (job ids
     in the simulator), giving O(log n) removal of {e arbitrary} elements —
@@ -60,6 +122,49 @@ module Indexed : sig
   val clear : ('k, 'v) t -> unit
 
   val invariant : ('k, 'v) t -> bool
+  (** Structural check (heap property + position-table consistency), for
+      tests. *)
+end
+
+(** Flat indexed min-heap over bare ids: {!Indexed} with the boxing
+    stripped out.  The elements {e are} the ids, held in plain
+    [int array]s, so add/remove/min are allocation-free once the arrays
+    have grown.  The strict order is a closure over whatever flat state
+    the caller keys on (it must be total over the ids present — break
+    ties on the id itself).
+
+    The algorithm is a line-for-line clone of {!Indexed}'s.  That is
+    load-bearing: [Driver.pending_iter] exposes heap-array order to
+    policies, some of which fold floats over it, so the flat core must
+    reproduce {!Indexed}'s slot layout exactly for schedules to stay
+    byte-identical. *)
+module Iheap : sig
+  type t
+
+  val create : less:(int -> int -> bool) -> unit -> t
+  val size : t -> int
+  val is_empty : t -> bool
+  val mem : t -> id:int -> bool
+
+  val add : t -> id:int -> unit
+  (** Raises [Invalid_argument] if [id] is negative or already present. *)
+
+  val remove : t -> id:int -> bool
+  (** Removes the element with the given id in O(log n); [false] when
+      absent. *)
+
+  val min_id : t -> int
+  (** Smallest id under [less], or [-1] when empty. *)
+
+  val get : t -> int -> int
+  (** [get t slot] is the id in heap-array slot [slot] (< {!size}). *)
+
+  val iter : t -> f:(int -> unit) -> unit
+  (** Iterates in heap-array order, exactly as {!Indexed.iter} does. *)
+
+  val clear : t -> unit
+
+  val invariant : t -> bool
   (** Structural check (heap property + position-table consistency), for
       tests. *)
 end

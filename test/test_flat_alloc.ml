@@ -1,0 +1,92 @@
+(* Allocation-regression gate for the flat core: the driver's own
+   bookkeeping on the hot path must stay allocation-free.  A mid-size
+   run's minor-words-per-event figure is read back from the driver's
+   telemetry counters and held under a fixed ceiling, so any future edit
+   that re-introduces boxing on the hot path (a mutable float field, an
+   eagerly built trace event, a list where an array belongs) fails
+   `dune runtest` instead of silently eroding the performance win.
+
+   What remains under the ceiling is the irreducible per-event cost of
+   the *policy interface* — decision records, [Some job] view answers,
+   span closures — which the issue pins as unchanged.  [Gc.minor_words]
+   counts words allocated, not collector activity, so the figure is
+   deterministic for a fixed instance and policy and the gates can sit
+   close to the measured values. *)
+
+open Sched_model
+open Sched_sim
+module Rng = Sched_stats.Rng
+module Obs = Sched_obs.Obs
+module Registry = Sched_obs.Registry
+module Metric = Sched_obs.Metric
+
+(* Spread releases (not the dyadic differential generator): short queues,
+   so the figure reflects the per-event code path rather than policy
+   scans over deep pending sets. *)
+let make_instance ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let jobs =
+    List.init n (fun id ->
+        let release = float_of_int (Rng.int rng (4 * n)) /. 4. in
+        let sizes = Array.init m (fun _ -> float_of_int (1 + Rng.int rng 32) /. 4.) in
+        let weight = float_of_int (1 + Rng.int rng 16) /. 4. in
+        Job.create ~id ~release ~weight ~sizes ())
+  in
+  Instance.create ~machines:(Machine.fleet m) ~jobs ()
+
+let run_and_measure ~n ~m policy =
+  let instance = make_instance ~seed:7 ~n ~m in
+  let registry = Registry.create () in
+  let obs = Obs.create ~registry () in
+  ignore (Driver.run_schedule ~obs ~impl:Driver.Flat policy instance);
+  let words =
+    Metric.Counter.value (Registry.counter registry "sched_flat_loop_minor_words_total")
+  in
+  let events =
+    Metric.Counter.value (Registry.counter registry "sched_flat_loop_events_total")
+  in
+  (words, events)
+
+let check_gate ~what ~gate policy =
+  (* Warm-up run pays one-time lazy initialization. *)
+  ignore (run_and_measure ~n:500 ~m:4 policy);
+  let words, events = run_and_measure ~n:4000 ~m:4 policy in
+  (* At least one arrival per job; rejected-before-start jobs push no
+     finish event. *)
+  Alcotest.(check bool) "events counted" true (events >= 4000.);
+  let per_event = words /. events in
+  if per_event > gate then
+    Alcotest.failf
+      "%s: flat loop allocates %.1f minor words/event (gate %.1f): the hot path is boxing again"
+      what per_event gate
+
+(* Measured ~58 words/event (all policy-interface cost; the boxed core
+   runs ~130 on the same instance). *)
+let test_steady_state_allocs () =
+  check_gate ~what:"greedy-spt" ~gate:80. Sched_baselines.Greedy_dispatch.spt
+
+(* The rejection path through the loop is separate code; flow-reject also
+   pays for its per-arrival candidate scan.  Measured ~70 words/event. *)
+let test_steady_state_allocs_reject () =
+  let module FR = Rejection.Flow_reject in
+  check_gate ~what:"flow-reject" ~gate:100. (FR.policy (FR.config ~eps:0.3 ()))
+
+(* Counters are absent unless the flat core actually ran: the boxed core
+   must not register them, so a dashboard can tell the cores apart. *)
+let test_counters_flat_only () =
+  let instance = make_instance ~seed:11 ~n:50 ~m:2 in
+  let registry = Registry.create () in
+  let obs = Obs.create ~registry () in
+  ignore
+    (Driver.run_schedule ~obs ~impl:Driver.Boxed Sched_baselines.Greedy_dispatch.spt instance);
+  let words =
+    Metric.Counter.value (Registry.counter registry "sched_flat_loop_minor_words_total")
+  in
+  Alcotest.(check (float 0.)) "boxed run registers no flat counters" 0. words
+
+let suite =
+  [
+    Alcotest.test_case "steady-state minor words/event under gate" `Quick test_steady_state_allocs;
+    Alcotest.test_case "rejection path under gate" `Quick test_steady_state_allocs_reject;
+    Alcotest.test_case "flat counters only on flat runs" `Quick test_counters_flat_only;
+  ]

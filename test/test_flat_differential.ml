@@ -1,0 +1,124 @@
+(* Flat-vs-boxed differential layer: the flat core must produce schedules
+   byte-identical (canonical serialization) to the boxed reference, with
+   bit-identical live metrics, for every corpus case x registry policy and
+   for a few hundred fresh fuzzer-generated scenarios — with the oracle
+   auditing both sides. *)
+
+open Sched_model
+open Sched_sim
+module P = Sched_experiments.Policy_registry
+module Scenario = Sched_fuzz.Scenario
+module Corpus = Sched_fuzz.Corpus
+
+(* Bit-identical float equality: the flat core copies the boxed driver's
+   accumulation order verbatim, so even the live metrics must agree exactly,
+   not just to tolerance. *)
+let check_f what a b =
+  if not (Float.equal a b) then
+    Alcotest.failf "%s: boxed %.17g <> flat %.17g" what a b
+
+let check_pair ~what (e : P.entry) instance =
+  (* The driver's audit checks deadlines whenever the instance carries
+     them, and most registry policies ignore deadlines — the fuzzer runs
+     those pairings with [check_deadlines:false] for the same reason.  The
+     in-driver audit has no such knob, so deadline-bearing instances are
+     compared un-audited (the byte-identity check is the point here). *)
+  let check = not (Instance.has_deadlines instance) in
+  let sb, lb = e.P.run_impl ~impl:Driver.Boxed ~check instance in
+  let sf, lf = e.P.run_impl ~impl:Driver.Flat ~check instance in
+  let cb = Serialize.schedule_to_canonical_string sb in
+  let cf = Serialize.schedule_to_canonical_string sf in
+  if not (String.equal cb cf) then
+    Alcotest.failf "%s: flat schedule diverges from boxed:\n--- boxed ---\n%s\n--- flat ---\n%s"
+      what cb cf;
+  let open Metrics in
+  check_f (what ^ ": flow.total") lb.Driver.flow.total lf.Driver.flow.total;
+  check_f (what ^ ": flow.weighted") lb.Driver.flow.weighted lf.Driver.flow.weighted;
+  check_f
+    (what ^ ": flow.total_with_rejected")
+    lb.Driver.flow.total_with_rejected lf.Driver.flow.total_with_rejected;
+  check_f
+    (what ^ ": flow.weighted_with_rejected")
+    lb.Driver.flow.weighted_with_rejected lf.Driver.flow.weighted_with_rejected;
+  check_f (what ^ ": flow.max_flow") lb.Driver.flow.max_flow lf.Driver.flow.max_flow;
+  check_f (what ^ ": flow.mean_flow") lb.Driver.flow.mean_flow lf.Driver.flow.mean_flow;
+  check_f (what ^ ": flow.max_stretch") lb.Driver.flow.max_stretch lf.Driver.flow.max_stretch;
+  check_f (what ^ ": energy") lb.Driver.energy lf.Driver.energy;
+  check_f (what ^ ": makespan") lb.Driver.makespan lf.Driver.makespan;
+  Alcotest.(check int)
+    (what ^ ": rejection.count")
+    lb.Driver.rejection.count lf.Driver.rejection.count;
+  check_f (what ^ ": rejection.fraction") lb.Driver.rejection.fraction lf.Driver.rejection.fraction;
+  check_f (what ^ ": rejection.weight") lb.Driver.rejection.weight lf.Driver.rejection.weight;
+  check_f
+    (what ^ ": rejection.weight_fraction")
+    lb.Driver.rejection.weight_fraction lf.Driver.rejection.weight_fraction;
+  Alcotest.(check int)
+    (what ^ ": rejection.mid_run")
+    lb.Driver.rejection.mid_run lf.Driver.rejection.mid_run
+
+(* Every corpus case under every registry policy, not just the case's own:
+   the corpus instances are the fuzzer's distilled tie-heavy / restricted /
+   adversarial corners, exactly where a layout or tie-break divergence
+   would surface. *)
+let test_corpus_all_policies () =
+  let cases = Corpus.seeds () in
+  Alcotest.(check int) "nine corpus cases" 9 (List.length cases);
+  List.iter
+    (fun (c : Corpus.case) ->
+      List.iter
+        (fun (e : P.entry) ->
+          check_pair ~what:(Printf.sprintf "%s/%s" c.Corpus.name e.P.name) e c.Corpus.instance)
+        P.all)
+    cases
+
+(* Fresh scenario generations: the fuzzer's base worklist plus one mutation
+   ring, deduplicated by label, capped at 200 — policies assigned
+   round-robin so every entry sees a spread of families. *)
+let scenarios limit =
+  let base = Scenario.base ~seed:2026 in
+  let ring = List.concat_map Scenario.mutants base in
+  let seen = Hashtbl.create 256 in
+  let uniq =
+    List.filter
+      (fun s ->
+        let l = Scenario.label s in
+        if Hashtbl.mem seen l then false
+        else begin
+          Hashtbl.add seen l ();
+          true
+        end)
+      (base @ ring)
+  in
+  List.filteri (fun k _ -> k < limit) uniq
+
+let test_fresh_scenarios () =
+  let scns = scenarios 200 in
+  Alcotest.(check int) "two hundred fresh scenarios" 200 (List.length scns);
+  let entries = Array.of_list P.all in
+  List.iteri
+    (fun k s ->
+      let e = entries.(k mod Array.length entries) in
+      let what = Printf.sprintf "%s/%s" (Scenario.label s) e.P.name in
+      check_pair ~what e (Scenario.instance s))
+    scns
+
+(* The dyadic random generator used by the rest of the differential suite,
+   as a third independent source of instances. *)
+let test_random_instances () =
+  let entries = Array.of_list P.all in
+  for seed = 0 to 19 do
+    let weighted = seed mod 2 = 1 and restricted = seed mod 3 = 0 in
+    let instance =
+      Test_util.random_instance ~weighted ~restricted ~seed ~n:(20 + (7 * seed)) ~m:(1 + (seed mod 4)) ()
+    in
+    let e = entries.(seed mod Array.length entries) in
+    check_pair ~what:(Printf.sprintf "random/s%d/%s" seed e.P.name) e instance
+  done
+
+let suite =
+  [
+    ("corpus x all policies, byte-identical", `Slow, test_corpus_all_policies);
+    ("200 fresh scenarios, byte-identical", `Slow, test_fresh_scenarios);
+    ("dyadic random instances, byte-identical", `Quick, test_random_instances);
+  ]

@@ -54,6 +54,17 @@ let test_polycmp_ok () =
 let test_polycmp_allow () =
   Alcotest.(check int) "suppressed" 0 (List.length (lint "polycmp_allow.ml"))
 
+let test_polycmp_heap_bad () =
+  let fs = lint "polycmp_heap_bad.ml" in
+  Alcotest.(check int) "findings" 4 (List.length fs);
+  check_all_rule RL.Rule.Poly_compare fs
+
+let test_polycmp_heap_ok () =
+  Alcotest.(check int) "clean" 0 (List.length (lint "polycmp_heap_ok.ml"))
+
+let test_polycmp_heap_allow () =
+  Alcotest.(check int) "suppressed" 0 (List.length (lint "polycmp_heap_allow.ml"))
+
 let test_unstable_bad () =
   let fs = lint "unstable_bad.ml" in
   Alcotest.(check int) "findings" 1 (List.length fs);
@@ -312,6 +323,9 @@ let suite =
     Alcotest.test_case "polycmp: fixture fires" `Quick test_polycmp_bad;
     Alcotest.test_case "polycmp: clean fixture" `Quick test_polycmp_ok;
     Alcotest.test_case "polycmp: suppressed fixture" `Quick test_polycmp_allow;
+    Alcotest.test_case "polycmp: heap comparator fires" `Quick test_polycmp_heap_bad;
+    Alcotest.test_case "polycmp: clean heap comparator" `Quick test_polycmp_heap_ok;
+    Alcotest.test_case "polycmp: suppressed heap comparator" `Quick test_polycmp_heap_allow;
     Alcotest.test_case "unstable: fixture fires" `Quick test_unstable_bad;
     Alcotest.test_case "unstable: clean fixture" `Quick test_unstable_ok;
     Alcotest.test_case "unstable: suppressed fixture" `Quick test_unstable_allow;
