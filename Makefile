@@ -10,10 +10,13 @@ build:
 test:
 	dune runtest
 
-# Static determinism checks (rejlint) over lib/ bin/ bench/ test/.
-# Exits nonzero on any error-severity finding.  See DESIGN.md.
+# Static determinism checks (rejlint) over lib/ bin/ bench/ test/, both
+# tiers: the syntactic pass (@lint alias, RJL001-009) and the typed pass
+# (--typed, RJL100-103 over the .cmt files the build just produced).
+# Exits nonzero on any error-severity finding.  See DESIGN.md section 7.
 lint:
-	dune build @lint
+	dune build @lint @all
+	dune exec bin/rejlint.exe -- --typed
 
 # Deterministic fuzz smoke (~30s): the coverage-guided scenario fuzzer
 # over the whole policy registry at a fixed seed, once sequentially and

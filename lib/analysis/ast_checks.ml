@@ -18,6 +18,11 @@ let rec flatten (lid : Longident.t) =
 let path_of lid =
   match flatten lid with "Stdlib" :: rest -> rest | p -> p
 
+(* Exported for the typed tier, which compares what the developer wrote
+   (the longident) against what it denotes (the resolved Path.t) to
+   report only the escapes tier 1 cannot see. *)
+let lid_path = path_of
+
 let loc_of (loc : Location.t) =
   let p = loc.loc_start in
   (p.pos_lnum, p.pos_cnum - p.pos_bol)
@@ -86,6 +91,26 @@ let banned_io path =
       Some (String.concat "." path ^ " writes to the console")
   | [ "Format"; ("print_string" | "print_newline" | "print_flush") ] ->
       Some (String.concat "." path ^ " writes to the console")
+  | _ -> None
+
+(* The applied forms: [Printf.fprintf stdout ...], [Format.fprintf
+   Format.std_formatter ...] and bare [output_string stdout ...] target
+   the console just as surely as [print_string], but the head identifier
+   alone is innocent — the verdict needs the first argument.  Shared
+   with the typed tier, which passes resolved paths instead. *)
+let std_channel_arg path =
+  match path with
+  | [ ("stdout" | "stderr") ] -> true
+  | [ "Format"; ("std_formatter" | "err_formatter") ] -> true
+  | _ -> false
+
+let banned_io_applied ~head ~arg =
+  let std = match arg with Some p -> std_channel_arg p | None -> false in
+  match head with
+  | [ ("Printf" | "Format"); "fprintf" ] when std ->
+      Some (String.concat "." head ^ " to a std channel writes to the console")
+  | [ (("output_string" | "output_char" | "output_bytes" | "output_byte") as f) ] when std ->
+      Some (f ^ " to a std channel writes to the console")
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -225,12 +250,7 @@ let check ~(scope : Scope.t) ~file (str : structure) =
       Finding.make ~rule ~severity:Rule.Error ~file ~line ~col message :: !findings
   in
   let in_lib = Scope.kind scope = Scope.Lib in
-  let io_allowed =
-    match Scope.kind scope with
-    | Scope.Bin | Scope.Bench | Scope.Examples | Scope.Test -> true
-    | Scope.Lib -> Scope.display scope
-    | Scope.Other -> true
-  in
+  let io_allowed = Scope.io_allowed scope in
   let check_comparator ~unstable cmp =
     (* RJL002: a bare polymorphic comparator, or polymorphic comparisons
        anywhere inside a comparator lambda. *)
@@ -286,7 +306,16 @@ let check ~(scope : Scope.t) ~file (str : structure) =
           | Some why -> add ~rule:Rule.Stray_io ~loc why
           | None -> ()
         end
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+        (if not io_allowed then
+           let arg =
+             match List.filter (fun (l, _) -> l = Asttypes.Nolabel) args with
+             | (_, { pexp_desc = Pexp_ident { txt = a; _ }; _ }) :: _ -> Some (path_of a)
+             | _ -> None
+           in
+           match banned_io_applied ~head:(path_of txt) ~arg with
+           | Some why -> add ~rule:Rule.Stray_io ~loc why
+           | None -> ());
         (match sort_family (path_of txt) with
         | Some kind -> (
             match List.filter (fun (l, _) -> l = Asttypes.Nolabel) args with
@@ -296,7 +325,10 @@ let check ~(scope : Scope.t) ~file (str : structure) =
         match heap_cmp_label (path_of txt) with
         | Some label -> (
             match
-              List.find_opt (fun (l, _) -> l = Asttypes.Labelled label) args
+              List.find_opt
+                (fun (l, _) ->
+                  match l with Asttypes.Labelled s -> String.equal s label | _ -> false)
+                args
             with
             | Some (_, cmp) -> check_comparator ~unstable:false cmp
             | None -> ())

@@ -10,13 +10,25 @@ type t = {
 let make ~rule ~severity ~file ~line ~col message =
   { rule; severity; file; line; col; message }
 
+(* Reports must be byte-stable however the two tiers interleave and at
+   any pool width, so the order is an explicit total one: position, then
+   catalog position, then severity, then the message text.  Two findings
+   compare equal only if they are identical. *)
+let severity_rank = function Rule.Error -> 0 | Rule.Warning -> 1
+
 let order a b =
   match String.compare a.file b.file with
   | 0 -> (
       match Int.compare a.line b.line with
       | 0 -> (
           match Int.compare a.col b.col with
-          | 0 -> Rule.compare_id a.rule b.rule
+          | 0 -> (
+              match Rule.compare_id a.rule b.rule with
+              | 0 -> (
+                  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+                  | 0 -> String.compare a.message b.message
+                  | c -> c)
+              | c -> c)
           | c -> c)
       | c -> c)
   | c -> c

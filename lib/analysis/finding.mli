@@ -19,8 +19,9 @@ val make :
   t
 
 val order : t -> t -> int
-(** Total order: file, then line, then column, then rule — used to make
-    report output independent of discovery order. *)
+(** Total order: file, line, column, rule (catalog position), severity
+    (errors first), then message — report output is independent of
+    discovery order and tier interleaving, and every tie is broken. *)
 
 val severity_string : Rule.severity -> string
 

@@ -15,7 +15,7 @@ let parse_error_finding ~file exn =
   in
   Finding.make ~rule:Rule.Parse_error ~severity:Rule.Error ~file ~line ~col msg
 
-let lint_source ~scope ~file source =
+let lint_source_raw ~scope ~file source =
   let suppressions = Suppress.scan source in
   let findings =
     if Filename.check_suffix file ".mli" then
@@ -31,6 +31,10 @@ let lint_source ~scope ~file source =
       try Ast_checks.check ~scope ~file (parse_structure ~file source)
       with exn -> [ parse_error_finding ~file exn ]
   in
+  (findings, suppressions)
+
+let lint_source ~scope ~file source =
+  let findings, suppressions = lint_source_raw ~scope ~file source in
   List.sort Finding.order (Suppress.filter suppressions findings)
 
 let read_file path =
@@ -39,17 +43,19 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file ?(check_mli = true) ?rel ~scope path =
+let lint_file_raw ?(check_mli = true) ?rel ~scope path =
   let file = match rel with Some r -> r | None -> path in
   let source = read_file path in
-  let ast_findings = lint_source ~scope ~file source in
+  let ast_findings, suppressions = lint_source_raw ~scope ~file source in
   let mli_findings =
     if check_mli then
       match Mli_coverage.check ~scope path with
-      | Some f ->
-          let f = { f with Finding.file } in
-          Suppress.filter (Suppress.scan source) [ f ]
+      | Some f -> [ { f with Finding.file } ]
       | None -> []
     else []
   in
-  List.sort Finding.order (ast_findings @ mli_findings)
+  (List.sort Finding.order (ast_findings @ mli_findings), suppressions)
+
+let lint_file ?check_mli ?rel ~scope path =
+  let findings, suppressions = lint_file_raw ?check_mli ?rel ~scope path in
+  List.sort Finding.order (Suppress.filter suppressions findings)

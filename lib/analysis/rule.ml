@@ -8,8 +8,15 @@ type id =
   | Missing_mli
   | Wall_clock
   | Raw_concurrency
+  | Stale_suppress
+  | Typed_nondet
+  | Typed_poly_compare
+  | Policy_purity
+  | Hot_alloc
 
 type severity = Error | Warning
+
+type tier = Syntactic | Typed
 
 let all =
   [
@@ -22,6 +29,11 @@ let all =
     Missing_mli;
     Wall_clock;
     Raw_concurrency;
+    Stale_suppress;
+    Typed_nondet;
+    Typed_poly_compare;
+    Policy_purity;
+    Hot_alloc;
   ]
 
 let to_string = function
@@ -34,6 +46,11 @@ let to_string = function
   | Missing_mli -> "missing-mli"
   | Wall_clock -> "wall-clock"
   | Raw_concurrency -> "raw-concurrency"
+  | Stale_suppress -> "stale-suppress"
+  | Typed_nondet -> "typed-nondet"
+  | Typed_poly_compare -> "typed-poly-compare"
+  | Policy_purity -> "policy-purity"
+  | Hot_alloc -> "hot-alloc"
 
 let code = function
   | Parse_error -> "RJL000"
@@ -45,6 +62,15 @@ let code = function
   | Missing_mli -> "RJL006"
   | Wall_clock -> "RJL007"
   | Raw_concurrency -> "RJL008"
+  | Stale_suppress -> "RJL009"
+  | Typed_nondet -> "RJL100"
+  | Typed_poly_compare -> "RJL101"
+  | Policy_purity -> "RJL102"
+  | Hot_alloc -> "RJL103"
+
+let tier = function
+  | Typed_nondet | Typed_poly_compare | Policy_purity | Hot_alloc -> Typed
+  | _ -> Syntactic
 
 let of_string s =
   let rec find = function
@@ -70,6 +96,21 @@ let describe = function
   | Raw_concurrency ->
       "raw concurrency primitive (Domain.spawn/join, Atomic.*, Mutex.*, Condition.*) in lib/ \
        outside Stats.Pool"
+  | Stale_suppress ->
+      "suppression comment that matches no finding (dead allowlist entries can mask future \
+       regressions)"
+  | Typed_nondet ->
+      "banned nondet/clock/IO/concurrency path reached through an alias, rebinding or functor \
+       application (typed tier; resolved Path.t re-check of RJL001/005/007/008)"
+  | Typed_poly_compare ->
+      "polymorphic compare/min/max or structural (=)/(<) instantiated at a float-bearing, \
+       abstract or functional type (typed tier; subsumes RJL002's lambda heuristics)"
+  | Policy_purity ->
+      "Policy_registry entry point transitively reaches mutable toplevel state, I/O, the clock \
+       or Random outside the Scope-allowlisted modules (typed tier call-graph proof)"
+  | Hot_alloc ->
+      "allocating construct (closure, tuple/constructor/record, partial application, fresh \
+       float box) inside a [@rejlint.hot] function (typed tier static zero-alloc proof)"
 
 (* Rule ids are ordered by their catalog position so reports are stable. *)
 let index r =

@@ -11,6 +11,14 @@ let display t = t.display
 let clock t = t.clock
 let pool t = t.pool
 
+(* Console I/O is the driver/display layers' job; in lib/ only the
+   display modules may perform it.  Shared by both lint tiers so they
+   agree on where RJL005/RJL100 apply. *)
+let io_allowed t =
+  match t.kind with
+  | Bin | Bench | Examples | Test | Other -> true
+  | Lib -> t.display
+
 (* The stats display modules are the one place in lib/ allowed to talk to
    the console (they exist to render tables and charts for humans). *)
 let display_modules = [ "lib/stats/table.ml"; "lib/stats/chart.ml" ]

@@ -23,6 +23,10 @@ val clock : t -> bool
     wall-clock rule (RJL007) — it exists to encapsulate exactly those
     reads. *)
 
+val io_allowed : t -> bool
+(** Whether console I/O is acceptable under this scope: true outside
+    [lib/], and inside [lib/] only for the display modules. *)
+
 val pool : t -> bool
 (** The domain-pool module ([lib/stats/pool.ml]) is exempt from the raw
     concurrency rule (RJL008) — it exists to encapsulate exactly those

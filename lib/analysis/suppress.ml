@@ -10,7 +10,7 @@
    line-oriented scan is deliberate: suppressions inside string literals
    are pathological enough not to matter for a lint. *)
 
-type entry = { line : int; rules : Rule.id list; all : bool }
+type entry = { line : int; rules : Rule.id list; all : bool; raw : string list }
 
 type t = entry list
 
@@ -49,10 +49,10 @@ let parse_line line text =
       | None -> None
       | Some after -> (
           match tokens_after text after with
-          | "allow" :: rules when rules <> [] ->
-              let all = List.mem "all" rules in
-              let rules = List.filter_map Rule.of_string rules in
-              Some { line; rules; all }
+          | "allow" :: raw when raw <> [] ->
+              let all = List.mem "all" raw in
+              let rules = List.filter_map Rule.of_string raw in
+              Some { line; rules; all; raw }
           | _ -> None))
 
 let scan source =
@@ -79,3 +79,28 @@ let active t ~line rule =
 
 let filter t findings =
   List.filter (fun (f : Finding.t) -> not (active t ~line:f.line f.rule)) findings
+
+(* RJL009: an entry is stale when it silences no finding in the
+   pre-suppression set.  An entry is only judged when every tier its
+   rules belong to actually ran: [allow hot-alloc] is not stale merely
+   because a syntactic-only run produced no typed findings, and [allow
+   all] can only be judged by a full two-tier run.  An entry whose rule
+   list parsed to nothing (a typo'd rule name) suppresses nothing and is
+   always stale. *)
+let unused t ~typed_ran findings =
+  let used e =
+    List.exists
+      (fun (f : Finding.t) ->
+        (e.line = f.line || e.line = f.line - 1) && (e.all || List.mem f.rule e.rules))
+      findings
+  in
+  let checkable e =
+    typed_ran
+    || ((not e.all) && List.for_all (fun r -> Rule.tier r = Rule.Syntactic) e.rules)
+  in
+  List.filter_map
+    (fun e ->
+      if checkable e && not (used e) then
+        Some (e.line, Printf.sprintf "suppression 'allow %s' matches no finding" (String.concat " " e.raw))
+      else None)
+    t

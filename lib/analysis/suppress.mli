@@ -14,3 +14,10 @@ val active : t -> line:int -> Rule.id -> bool
 
 val filter : t -> Finding.t list -> Finding.t list
 (** Drop suppressed findings. *)
+
+val unused : t -> typed_ran:bool -> Finding.t list -> (int * string) list
+(** RJL009 input: the entries that silence none of [findings] (the
+    file's complete pre-suppression finding set), as [(line, message)]
+    pairs.  An entry is only judged when every tier its rules belong to
+    ran — with [typed_ran = false], entries naming typed rules (and
+    [allow all] entries) are exempt. *)

@@ -1,0 +1,157 @@
+(* Project-wide type classification for RJL101, built without touching
+   the marshalled [Env.t] summaries inside cmt files (expanding those
+   needs [Envaux]/[Load_path] and is fragile across compiler versions).
+   Instead, the type declarations found in the project's own cmts form a
+   lookup table, and everything else falls back to a name-based stdlib
+   safelist.  Unknown types classify [Abstract] — conservative in the
+   right direction: the linter cannot prove them float-free. *)
+
+type cls = Safe | Float | Deep | Abstract | Var | Fn
+
+let describe_cls = function
+  | Safe -> "safe"
+  | Float -> "float"
+  | Deep -> "float-bearing"
+  | Abstract -> "abstract"
+  | Var -> "polymorphic"
+  | Fn -> "functional"
+
+let rank = function Safe -> 0 | Float -> 1 | Deep -> 2 | Var -> 3 | Abstract -> 4 | Fn -> 5
+
+let combine a b = if rank a >= rank b then a else b
+
+let combine_list l = List.fold_left combine Safe l
+
+(* Inside a structure (tuple, record field, variant argument, container
+   element) an atomic float becomes a float-bearing structure: the
+   comparison will traverse into it. *)
+let deepen = function Float -> Deep | c -> c
+
+(* Atomic builtins on which polymorphic comparison agrees with the typed
+   comparators. *)
+let safelisted = function
+  | "int" | "bool" | "char" | "unit" | "string" | "bytes" | "int32" | "int64" | "nativeint"
+  | "Int.t" | "Bool.t" | "Char.t" | "String.t" | "Int32.t" | "Int64.t" | "Nativeint.t" ->
+      true
+  | _ -> false
+
+(* Containers whose comparison traverses element types. *)
+let container = function
+  | "list" | "option" | "array" | "ref" | "result" | "Seq.t" | "Lazy.t" | "List.t"
+  | "Option.t" | "Array.t" | "Result.t" | "Either.t" ->
+      true
+  | _ -> false
+
+type t = (string, Types.type_declaration) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+(* Record every type declaration in the unit under its full logical
+   dotted name ("Sched_model.Job.t"), recursing into nested modules. *)
+let add_unit (table : t) ~prefix (structure : Typedtree.structure) =
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.str_desc with
+    | Tstr_type (_, decls) ->
+        List.iter
+          (fun (d : Typedtree.type_declaration) ->
+            let key = String.concat "." (prefix @ [ Ident.name d.typ_id ]) in
+            if not (Hashtbl.mem table key) then Hashtbl.add table key d.typ_type)
+          decls
+    | Tstr_module mb -> walk_module_binding prefix mb
+    | Tstr_recmodule mbs -> List.iter (walk_module_binding prefix) mbs
+    | _ -> ()
+  and walk_module_binding prefix (mb : Typedtree.module_binding) =
+    let sub_prefix =
+      match mb.mb_id with Some id -> prefix @ [ Ident.name id ] | None -> prefix
+    in
+    walk_module_expr sub_prefix mb.mb_expr
+  and walk_module_expr prefix (mexpr : Typedtree.module_expr) =
+    match mexpr.mod_desc with
+    | Tmod_structure s -> walk_structure prefix s
+    | Tmod_constraint (m, _, _, _) -> walk_module_expr prefix m
+    | _ -> ()
+  in
+  walk_structure prefix structure
+
+(* Look a Tconstr path up in the table.  Local references print without
+   their unit prefix ("t", "State.t"), so each ancestor prefix of the
+   analyzing unit is tried, innermost first, before the bare name. *)
+let find (table : t) ~unit_prefix path =
+  let dotted p = String.concat "." p in
+  let rec prefixes acc = function
+    | [] -> List.rev ([] :: acc)
+    | p -> prefixes (p :: acc) (List.rev (List.tl (List.rev p)))
+  in
+  let candidates = List.map (fun pre -> dotted (pre @ path)) (prefixes [] unit_prefix) in
+  let rec try_keys = function
+    | [] -> None
+    | k :: rest -> ( match Hashtbl.find_opt table k with Some d -> Some d | None -> try_keys rest)
+  in
+  try_keys candidates
+
+let classify (table : t) ~unit_prefix ty =
+  (* [var_cls] is the class substituted for type variables: [Var] at the
+     top level, the combined argument class while expanding a
+     declaration body (approximating instantiation without a real
+     substitution).  [visited] holds type-expression ids, which makes
+     recursive types converge: a back-edge contributes [Safe] and the
+     float content is still seen on the first pass. *)
+  let rec go ~var_cls visited ty =
+    let id = Types.get_id ty in
+    if List.mem id visited then Safe
+    else
+      let visited = id :: visited in
+      match Types.get_desc ty with
+      | Tvar _ | Tunivar _ -> var_cls
+      | Tarrow _ -> Fn
+      | Ttuple l -> deepen (combine_list (List.map (go ~var_cls visited) l))
+      | Tpoly (t, _) -> go ~var_cls visited t
+      | Tlink t | Tsubst (t, _) -> go ~var_cls visited t
+      | Tconstr (p, args, _) -> (
+          let name = String.concat "." (Typed_path.normalize (path_to_list p)) in
+          if safelisted name then Safe
+          else if name = "float" || name = "Float.t" then Float
+          else if container name then
+            deepen (combine_list (List.map (go ~var_cls visited) args))
+          else
+            match find table ~unit_prefix (Typed_path.normalize (path_to_list p)) with
+            | Some decl ->
+                let arg_cls = combine_list (List.map (go ~var_cls visited) args) in
+                decl_cls visited decl arg_cls
+            | None -> Abstract)
+      | Tvariant _ -> Abstract
+      | Tobject _ | Tfield _ | Tnil | Tpackage _ -> Abstract
+  and path_to_list p =
+    match p with
+    | Path.Pident id -> [ Ident.name id ]
+    | Path.Pdot (p, s) -> path_to_list p @ [ s ]
+    | Path.Papply (f, _) -> Typed_path.strip_functor (path_to_list f)
+    | Path.Pextra_ty (p, _) -> path_to_list p
+  and decl_cls visited (decl : Types.type_declaration) arg_cls =
+    match decl.type_manifest with
+    | Some m -> go ~var_cls:arg_cls visited m
+    | None -> (
+        match decl.type_kind with
+        | Type_record (lbls, _) ->
+            deepen
+              (combine_list
+                 (List.map (fun (l : Types.label_declaration) -> go ~var_cls:arg_cls visited l.ld_type) lbls))
+        | Type_variant (ctors, _) ->
+            deepen
+              (combine_list
+                 (List.map
+                    (fun (c : Types.constructor_declaration) ->
+                      match c.cd_args with
+                      | Cstr_tuple tys -> combine_list (List.map (go ~var_cls:arg_cls visited) tys)
+                      | Cstr_record lbls ->
+                          combine_list
+                            (List.map
+                               (fun (l : Types.label_declaration) -> go ~var_cls:arg_cls visited l.ld_type)
+                               lbls))
+                    ctors))
+        | Type_abstract -> Abstract
+        | Type_open -> Abstract)
+  in
+  go ~var_cls:Var [] ty

@@ -1,0 +1,28 @@
+(** Project-wide type classification for the typed tier, built from the
+    type declarations found in the project's own cmt files plus a
+    name-based stdlib safelist — no [Env.t]/[Ctype] expansion of the
+    marshalled environments, which keeps loading robust.  Unknown types
+    classify [Abstract]: the linter cannot prove them float-free. *)
+
+type cls =
+  | Safe  (** atomic builtin; polymorphic comparison agrees with typed one *)
+  | Float  (** atomic [float] (primitive [<]/[>] on it is repo style) *)
+  | Deep  (** structure that contains a float somewhere *)
+  | Abstract  (** unknown/abstract/open/object — cannot be proven float-free *)
+  | Var  (** type variable: genuinely polymorphic use *)
+  | Fn  (** function type: structural comparison raises at runtime *)
+
+val describe_cls : cls -> string
+
+type t
+
+val create : unit -> t
+
+val add_unit : t -> prefix:string list -> Typedtree.structure -> unit
+(** Record every type declaration of a unit under its logical dotted
+    name ("Sched_model.Job.t"), recursing into nested modules. *)
+
+val classify : t -> unit_prefix:string list -> Types.type_expr -> cls
+(** Classify a type as seen from the unit whose logical module path is
+    [unit_prefix] (local references print without their unit prefix, so
+    ancestor prefixes are tried innermost-first during lookup). *)

@@ -1,0 +1,9 @@
+(** RJL100: tier 1's banned-path tables (nondet / console I/O /
+    wall-clock / concurrency) re-checked on resolved [Path.t]s.  Only
+    the escapes tier 1 cannot see are reported: module aliases,
+    [let module] rebindings and functor-applied paths — an identifier
+    whose written form already matches the tier-1 tables stays tier 1's
+    finding. *)
+
+val check :
+  scope:Scope.t -> file:string -> env:Typed_path.env -> Typedtree.structure -> Finding.t list

@@ -1,0 +1,62 @@
+(* cmt discovery and loading.  Dune leaves cmt files under
+   [_build/default/<dir>/.<lib>.objs/byte/]; discovery therefore must
+   descend into dot-directories, unlike the source walk.  Fixture cmts
+   (compiled under test/lint_fixtures/) are excluded so the repo's own
+   typed lint never sees the deliberately-broken positives. *)
+
+type unit_info = {
+  cmt_path : string;
+  modname : string;
+  prefix : string list;  (* normalized logical module path of the unit *)
+  source : string;  (* repo-relative .ml path the cmt was compiled from *)
+  scope : Scope.t;
+  structure : Typedtree.structure;
+}
+
+let excluded_dirs = [ ".git"; "node_modules"; "lint_fixtures" ]
+
+let discover dir =
+  let acc = ref [] in
+  let rec go d =
+    match Sys.readdir d with
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat d entry in
+            if Sys.is_directory path then begin
+              if not (List.mem entry excluded_dirs) then go path
+            end
+            else if Filename.check_suffix entry ".cmt" then acc := path :: !acc)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  if Sys.file_exists dir && Sys.is_directory dir then go dir;
+  List.rev !acc
+
+let load ?scope path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error (Printf.sprintf "%s: cannot read cmt (%s)" path (Printexc.to_string exn))
+  | infos -> (
+      match infos.cmt_annots with
+      | Implementation structure -> (
+          match infos.cmt_sourcefile with
+          | Some src when Filename.check_suffix src ".ml" ->
+              (* Generated sources (dune's ".ml-gen" wrapper aliases) are
+                 filtered out by the suffix check above. *)
+              let source =
+                String.map (fun c -> if c = '\\' then '/' else c) src
+              in
+              let scope = match scope with Some s -> s | None -> Scope.classify source in
+              Ok
+                {
+                  cmt_path = path;
+                  modname = infos.cmt_modname;
+                  prefix = Typed_path.split_mangled infos.cmt_modname;
+                  source;
+                  scope;
+                  structure;
+                }
+          | _ -> Error (Printf.sprintf "%s: no .ml source recorded" path))
+      | _ -> Error (Printf.sprintf "%s: not an implementation cmt" path))

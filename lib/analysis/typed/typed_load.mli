@@ -1,0 +1,22 @@
+(** cmt discovery and loading for the typed tier. *)
+
+type unit_info = {
+  cmt_path : string;
+  modname : string;
+  prefix : string list;  (** normalized logical module path of the unit *)
+  source : string;  (** repo-relative .ml path the cmt was compiled from *)
+  scope : Scope.t;
+  structure : Typedtree.structure;
+}
+
+val discover : string -> string list
+(** Every [.cmt] file under a directory, sorted deterministically.
+    Descends into dot-directories (dune hides object dirs there) but
+    skips fixture trees ([lint_fixtures]) so the repo's own typed lint
+    never loads the deliberately-broken positives. *)
+
+val load : ?scope:Scope.t -> string -> (unit_info, string) result
+(** Load one cmt.  Fails on non-implementation cmts and on generated
+    sources ([.ml-gen] wrapper aliases).  [scope] overrides the
+    classification derived from the recorded source path (fixtures are
+    linted under a forced scope). *)

@@ -1,0 +1,147 @@
+(* Resolved-path plumbing for the typed tier.
+
+   The parsetree pass matches the tokens the developer wrote; this module
+   turns a Typedtree [Path.t] into the canonical module path the tokens
+   *denote*, resolving three escapes the syntactic pass cannot see:
+
+   - module aliases: [module H = Hashtbl ... H.iter]
+   - local module bindings: [let module U = Random in U.self_init]
+   - functor applications: [module M = Hashtbl.Make (K) ... M.iter]
+     (an instance of [Hashtbl.Make] iterates in hash order exactly like
+     the base [Hashtbl], so the applied path normalizes to the functor's
+     parent)
+
+   Dune's module mangling is also normalized away: the wrapped-library
+   unit ["Sched_sim__Driver"] flattens to [["Sched_sim"; "Driver"]] and
+   the generated alias module ["Sched_sim__"] to [["Sched_sim"]], so a
+   path reads the same whether it went through the library wrapper or
+   straight to the mangled unit. *)
+
+type target =
+  | Module_path of Path.t  (* alias of another module path *)
+  | Applied of Path.t  (* result of applying the functor at this path *)
+  | Logical of string list  (* structure defined here, at this logical path *)
+
+type env = { mutable modules : (Ident.t * target) list }
+
+let empty_env () = { modules = [] }
+
+let bind env id target = env.modules <- (id, target) :: env.modules
+
+let lookup env id =
+  let rec go = function
+    | [] -> None
+    | (id', t) :: rest -> if Ident.same id id' then Some t else go rest
+  in
+  go env.modules
+
+(* "Sched_sim__Driver" -> ["Sched_sim"; "Driver"]; "Sched_sim__" ->
+   ["Sched_sim"].  Splitting on every "__" is deliberate: dune never
+   produces nested mangling, and user identifiers with double
+   underscores are not worth distinguishing in a lint. *)
+let split_mangled s =
+  let n = String.length s in
+  let parts = ref [] and start = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      if !i > !start then parts := String.sub s !start (!i - !start) :: !parts;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  if !start < n then parts := String.sub s !start (n - !start) :: !parts;
+  List.rev !parts
+
+(* An applied functor instance behaves like its parent module for the
+   banned-path tables: Hashtbl.Make(K).iter is Hashtbl.iter. *)
+let strip_functor path =
+  match List.rev path with
+  | ("Make" | "MakeSeeded") :: rest -> List.rev rest
+  | _ -> path
+
+let normalize path =
+  let flat = List.concat_map split_mangled path in
+  match flat with "Stdlib" :: rest -> rest | p -> p
+
+let resolve env path =
+  (* Alias chains are finite in well-typed programs; the fuel guard only
+     protects against a malformed cmt. *)
+  let rec go fuel p =
+    if fuel = 0 then []
+    else
+      match p with
+      | Path.Pident id -> (
+          match lookup env id with
+          | Some (Module_path target) -> go (fuel - 1) target
+          | Some (Applied target) -> strip_functor (go (fuel - 1) target)
+          | Some (Logical l) -> l
+          | None -> [ Ident.name id ])
+      | Path.Pdot (p, s) -> go fuel p @ [ s ]
+      | Path.Papply (f, _) -> strip_functor (go (fuel - 1) f)
+      | Path.Pextra_ty (p, _) -> go fuel p
+  in
+  normalize (go 64 path)
+
+(* The module environment is a single flat table for the whole unit:
+   Ident stamps are unique within a compilation unit, so no scoping
+   discipline is needed.  Structure bindings found while walking
+   expressions get a degenerate logical path (their members are analyzed
+   in place anyway); structure bindings at the toplevel are recorded by
+   the graph walk with their true prefix via [bind]. *)
+let rec module_target env ~logical (mexpr : Typedtree.module_expr) =
+  match mexpr.mod_desc with
+  | Tmod_ident (p, _) -> Some (Module_path p)
+  | Tmod_constraint (m, _, _, _) -> module_target env ~logical m
+  | Tmod_apply (f, _, _) -> (
+      match module_target env ~logical f with
+      | Some (Module_path p) -> Some (Applied p)
+      | Some (Applied p) -> Some (Applied p)
+      | _ -> None)
+  | Tmod_structure _ -> Some (Logical logical)
+  | _ -> None
+
+let build_env structure =
+  let env = empty_env () in
+  let record prefix (id : Ident.t option) mexpr =
+    match id with
+    | None -> ()
+    | Some id -> (
+        let logical = prefix @ [ Ident.name id ] in
+        match module_target env ~logical mexpr with
+        | Some t -> bind env id t
+        | None -> ())
+  in
+  (* Walk with an explicit prefix for structure-level bindings so nested
+     structures get true logical paths; expression-level bindings are
+     collected by a plain iterator pass (prefix-less). *)
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.str_desc with
+    | Tstr_module mb -> walk_module_binding prefix mb
+    | Tstr_recmodule mbs -> List.iter (walk_module_binding prefix) mbs
+    | _ -> ()
+  and walk_module_binding prefix (mb : Typedtree.module_binding) =
+    record prefix mb.mb_id mb.mb_expr;
+    let sub_prefix =
+      match mb.mb_id with Some id -> prefix @ [ Ident.name id ] | None -> prefix
+    in
+    walk_module_expr sub_prefix mb.mb_expr
+  and walk_module_expr prefix (mexpr : Typedtree.module_expr) =
+    match mexpr.mod_desc with
+    | Tmod_structure s -> walk_structure prefix s
+    | Tmod_constraint (m, _, _, _) -> walk_module_expr prefix m
+    | _ -> ()
+  in
+  walk_structure [] structure;
+  let expr_pass sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_letmodule (Some id, _, _, mexpr, _) -> record [] (Some id) mexpr
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_pass } in
+  it.structure it structure;
+  env

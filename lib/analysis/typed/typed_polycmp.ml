@@ -1,0 +1,95 @@
+(* RJL101: type-aware polymorphic comparison.  Tier 1's RJL002 only
+   inspects lambdas passed to sorts; with the Typedtree every occurrence
+   of Stdlib's polymorphic [compare]/[min]/[max] and the structural
+   comparison operators carries its instantiated type, so the hazard is
+   visible anywhere — including comparators passed point-free and
+   comparisons buried in ordinary code.
+
+   The verdicts, from the instantiated first-argument type:
+
+   - [compare]/[min]/[max]: flagged unless the type is a provably-safe
+     atomic builtin.  At [float] they disagree with [Float.compare]/
+     [Float.min] on NaN; at abstract/polymorphic types nothing is
+     proven; at function types they raise.
+   - [=]/[<>]/[<]/[<=]/[>]/[>=]: flagged at float-bearing structures,
+     abstract types and function types.  Atomic [float] comparisons are
+     deliberately accepted — primitive float [<]/[>] is the simulator's
+     documented style (byte-identity depends on it) — and so are
+     comparisons against a constant constructor literal ([x = None],
+     [l <> []], [k = `Tag]), which only ever inspect the tag. *)
+
+let compare_family resolved =
+  match resolved with [ ("compare" | "min" | "max") ] -> true | _ -> false
+
+let eq_family resolved =
+  match resolved with [ ("=" | "<>" | "<" | "<=" | ">" | ">=") ] -> true | _ -> false
+
+(* First argument type of an instantiated comparison operator. *)
+let first_arg_type ty =
+  match Types.get_desc ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let is_constant_construct (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_construct (_, _, []) -> true
+  | Texp_variant (_, None) -> true
+  | _ -> false
+
+let check ~table ~unit_prefix ~file ~env (structure : Typedtree.structure) =
+  let findings = ref [] in
+  let add ~loc message =
+    let p = loc.Location.loc_start in
+    findings :=
+      Finding.make ~rule:Rule.Typed_poly_compare ~severity:Rule.Error ~file ~line:p.pos_lnum
+        ~col:(p.pos_cnum - p.pos_bol) message
+      :: !findings
+  in
+  (* Equality applications whose head was already handled (and possibly
+     exempted by a constant-constructor argument); the bare-ident branch
+     skips these so each occurrence is judged exactly once. *)
+  let handled_heads = ref [] in
+  let type_name ty = Format.asprintf "%a" Printtyp.type_expr ty in
+  let judge_ident ~exempt_eq (e : Typedtree.expression) path lid =
+    let resolved = Typed_path.resolve env path in
+    let flag_cls verdict_bad name =
+      match first_arg_type e.exp_type with
+      | None -> ()
+      | Some a ->
+          let cls = Typed_env.classify table ~unit_prefix a in
+          if verdict_bad cls then
+            add ~loc:lid.Location.loc
+              (Printf.sprintf
+                 "polymorphic %s instantiated at %s type %s; use a typed comparator \
+                  (Float.compare, Int.compare, ...)"
+                 name
+                 (Typed_env.describe_cls cls)
+                 (type_name a))
+    in
+    if compare_family resolved then
+      flag_cls (function Typed_env.Safe -> false | _ -> true) (String.concat "." resolved)
+    else if eq_family resolved && not exempt_eq then
+      flag_cls
+        (function Typed_env.Deep | Typed_env.Abstract | Typed_env.Fn -> true | _ -> false)
+        ("(" ^ String.concat "." resolved ^ ")")
+  in
+  let expr_pass sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply (({ exp_desc = Texp_ident (hp, hlid, _); _ } as head), args) ->
+        let resolved = Typed_path.resolve env hp in
+        if eq_family resolved then begin
+          handled_heads := head :: !handled_heads;
+          let positional =
+            List.filter_map
+              (fun (l, a) -> match (l, a) with Asttypes.Nolabel, Some a -> Some a | _ -> None)
+              args
+          in
+          let exempt = List.exists is_constant_construct positional in
+          judge_ident ~exempt_eq:exempt head hp hlid
+        end
+    | Texp_ident (path, lid, _) ->
+        if not (List.memq e !handled_heads) then judge_ident ~exempt_eq:false e path lid
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_pass } in
+  it.structure it structure;
+  List.rev !findings

@@ -1,0 +1,15 @@
+(** RJL101: type-aware polymorphic comparison.  Flags Stdlib's
+    [compare]/[min]/[max] — in any position — unless instantiated at a
+    provably-safe atomic builtin, and the structural comparison
+    operators at float-bearing, abstract or functional types.
+    Comparisons against a constant constructor literal ([x = None],
+    [l <> []]) only inspect the tag and are accepted, as are primitive
+    comparisons at atomic [float] (the simulator's documented style). *)
+
+val check :
+  table:Typed_env.t ->
+  unit_prefix:string list ->
+  file:string ->
+  env:Typed_path.env ->
+  Typedtree.structure ->
+  Finding.t list

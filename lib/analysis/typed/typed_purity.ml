@@ -1,0 +1,58 @@
+(* RJL102: breadth-first reachability from every Policy_registry entry
+   point over the call graph.  Two finding shapes:
+
+   - a reachable node touches a banned ident directly (I/O, clock,
+     Random, concurrency, nondet source): reported at the banned use
+     site, so the suppression — if one is ever justified — sits next to
+     the hazard itself;
+   - a reachable node references a mutable toplevel: reported at the
+     referencing use site (the read is what makes policy behavior depend
+     on ambient state; the definition may be legitimate for other
+     callers).
+
+   Every finding carries the reachability chain so the report explains
+   *why* the entry point is impure, not just where. *)
+
+let chain_string keys =
+  let keys = if List.length keys > 5 then List.hd keys :: [ "..." ] @ (List.rev (List.filteri (fun i _ -> i < 3) (List.rev keys))) else keys in
+  String.concat " -> " keys
+
+let check (graph : Typed_graph.t) =
+  let findings = ref [] in
+  let seen_sites = ref [] in
+  let add ~file ~line ~col message =
+    let site = (file, line, col) in
+    if not (List.mem site !seen_sites) then begin
+      seen_sites := site :: !seen_sites;
+      findings :=
+        Finding.make ~rule:Rule.Policy_purity ~severity:Rule.Error ~file ~line ~col message
+        :: !findings
+    end
+  in
+  let visited = ref [] in
+  let rec visit chain (node : Typed_graph.node) =
+    if List.mem node.key !visited then ()
+    else begin
+      visited := node.key :: !visited;
+      let chain = chain @ [ node.key ] in
+      List.iter
+        (fun (desc, line, col) ->
+          add ~file:node.unit_source ~line ~col
+            (Printf.sprintf "policy entry reaches %s (chain: %s)" desc (chain_string chain)))
+        (List.rev node.hazards);
+      List.iter
+        (fun (path, line, col) ->
+          match Typed_graph.resolve_ref graph ~from:node path with
+          | None -> ()
+          | Some target ->
+              if target.is_mutable then
+                add ~file:node.unit_source ~line ~col
+                  (Printf.sprintf "policy entry reaches mutable toplevel %s (chain: %s)"
+                     target.key
+                     (chain_string (chain @ [ target.key ])));
+              visit chain target)
+        (List.rev node.refs)
+    end
+  in
+  List.iter (fun e -> visit [] e) (Typed_graph.entries graph);
+  List.rev !findings

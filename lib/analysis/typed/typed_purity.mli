@@ -1,0 +1,6 @@
+(** RJL102: reachability from every [Policy_registry] entry point over
+    the call graph.  Direct banned-ident uses report at the hazard site;
+    references to mutable toplevels report at the referencing use site.
+    Every finding carries the reachability chain. *)
+
+val check : Typed_graph.t -> Finding.t list

@@ -701,25 +701,29 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
         Sched_obs.Sink.time ins.i_sink phase_segment (fun () ->
             Flat_state.lay_segment fs ~job ~machine ~start ~stop ~speed)
   in
-  let reject_job id =
+  (* [@rejlint.hot]: RJL103 statically proves these four loop bodies
+     build no structures; the trace/instrumentation/failure arms that do
+     allocate are individually marked [@rejlint.cold] (off in the
+     steady state the dynamic minor-words ceiling measures). *)
+  let[@rejlint.hot] reject_job id =
     let t = Flat_state.clock fs in
     let l = Flat_state.loc fs id in
     if Flat_state.loc_is_pending l then begin
       let i = Flat_state.loc_machine l in
       if not (Flat_state.pend_remove fs i id) then
-        invalid_arg (Printf.sprintf "Driver: job %d not pending" id);
+        (invalid_arg (Printf.sprintf "Driver: job %d not pending" id) [@rejlint.cold]);
       Flat_state.set_loc fs id Flat_state.loc_settled;
       (match trace with
       | None -> ()
       | Some tr ->
-          Trace.record tr t
-            (Trace.Reject
-               {
-                 job = id;
-                 machine = i;
-                 was_running = false;
-                 remaining = Flat_state.size fs ~machine:i ~job:id;
-               }));
+          (Trace.record tr t
+             (Trace.Reject
+                {
+                  job = id;
+                  machine = i;
+                  was_running = false;
+                  remaining = Flat_state.size fs ~machine:i ~job:id;
+                }) [@rejlint.cold]));
       (match instr with
       | None -> ()
       | Some ins ->
@@ -745,7 +749,8 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
       (match trace with
       | None -> ()
       | Some tr ->
-          Trace.record tr t (Trace.Reject { job = id; machine = i; was_running; remaining }));
+          (Trace.record tr t (Trace.Reject { job = id; machine = i; was_running; remaining })
+          [@rejlint.cold]));
       (match instr with
       | None -> ()
       | Some ins ->
@@ -757,10 +762,10 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
       i
     end
     else if l = Flat_state.loc_unreleased then
-      invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id)
-    else invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id)
+      (invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id) [@rejlint.cold])
+    else (invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id) [@rejlint.cold])
   in
-  let restart_job id =
+  let[@rejlint.hot] restart_job id =
     let t = Flat_state.clock fs in
     let l = Flat_state.loc fs id in
     if Flat_state.loc_is_running l then begin
@@ -773,7 +778,8 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
       Flat_state.set_saw_restart fs;
       (match trace with
       | None -> ()
-      | Some tr -> Trace.record tr t (Trace.Restart { job = id; machine = i; wasted }));
+      | Some tr ->
+          (Trace.record tr t (Trace.Restart { job = id; machine = i; wasted }) [@rejlint.cold]));
       (match instr with
       | None -> ()
       | Some ins ->
@@ -783,37 +789,44 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
       Flat_state.set_loc fs id (Flat_state.loc_pending ~machine:i);
       i
     end
-    else invalid_arg (Printf.sprintf "Driver: restarting job %d that is not running" id)
+    else (invalid_arg (Printf.sprintf "Driver: restarting job %d that is not running" id)
+         [@rejlint.cold])
   in
-  let try_start i =
+  let[@rejlint.hot] try_start i =
     if Flat_state.run_job fs i < 0 && Flat_state.pend_count fs i > 0 then begin
       let choice =
         match instr with
         | None -> policy.select pstate vw i
         | Some ins ->
-            Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate vw i)
+            (Sched_obs.Sink.time ins.i_sink phase_select (fun () -> policy.select pstate vw i)
+            [@rejlint.cold])
       in
       match choice with
       | None -> ()
       | Some { job; speed } ->
           if speed <= 0. || not (Float.is_finite speed) then
-            invalid_arg (Printf.sprintf "Driver: policy %s chose speed %g" policy.name speed);
+            (invalid_arg (Printf.sprintf "Driver: policy %s chose speed %g" policy.name speed)
+            [@rejlint.cold]);
           let l = Flat_state.loc fs job in
           if not (Flat_state.loc_is_pending l && Flat_state.loc_machine l = i) then
-            invalid_arg (Printf.sprintf "Driver: job %d is not pending on machine %d" job i);
+            (invalid_arg (Printf.sprintf "Driver: job %d is not pending on machine %d" job i)
+            [@rejlint.cold]);
           if not (Flat_state.pend_remove fs i job) then
-            invalid_arg (Printf.sprintf "Driver: job %d not pending" job);
+            (invalid_arg (Printf.sprintf "Driver: job %d not pending" job) [@rejlint.cold]);
           let rate = speed *. Flat_state.mach_speed fs i in
           let size = Flat_state.size fs ~machine:i ~job in
           if not (Float.is_finite size) then
-            invalid_arg (Printf.sprintf "Driver: starting job %d on ineligible machine %d" job i);
+            (invalid_arg (Printf.sprintf "Driver: starting job %d on ineligible machine %d" job i)
+            [@rejlint.cold]);
           let clock = Flat_state.clock fs in
           let finish = clock +. (size /. rate) in
           Flat_state.set_running fs i ~job ~started:clock ~rate ~finish;
           Flat_state.set_loc fs job (Flat_state.loc_running ~machine:i);
           (match trace with
           | None -> ()
-          | Some tr -> Trace.record tr clock (Trace.Start { job; machine = i; speed = rate }));
+          | Some tr ->
+              (Trace.record tr clock (Trace.Start { job; machine = i; speed = rate })
+              [@rejlint.cold]));
           (match instr with
           | None -> ()
           | Some ins ->
@@ -828,7 +841,7 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
     | Some ins ->
         fun () -> Sched_obs.Sink.time ins.i_sink phase_heap (fun () -> Flat_state.next_event fs)
   in
-  let rec loop () =
+  let[@rejlint.hot] rec loop () =
     if pop () then begin
       Flat_state.set_clock fs (Float.max (Flat_state.clock fs) (Flat_state.ev_time fs));
       let tag = Flat_state.ev_tag fs in
@@ -839,37 +852,46 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           match instr with
           | None -> policy.on_arrival pstate vw j
           | Some ins ->
-              Sched_obs.Sink.time ins.i_sink phase_on_arrival (fun () ->
-                  policy.on_arrival pstate vw j)
+              (Sched_obs.Sink.time ins.i_sink phase_on_arrival (fun () ->
+                   policy.on_arrival pstate vw j) [@rejlint.cold])
         in
         let i = decision.dispatch_to in
         if i < 0 || i >= m then
-          invalid_arg (Printf.sprintf "Driver: policy %s dispatched to machine %d" policy.name i);
+          (invalid_arg
+             (Printf.sprintf "Driver: policy %s dispatched to machine %d" policy.name i)
+          [@rejlint.cold]);
         if not (Flat_state.eligible fs ~machine:i ~job:id) then
-          invalid_arg
-            (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
-               policy.name id i);
+          (invalid_arg
+             (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
+                policy.name id i) [@rejlint.cold]);
         Flat_state.pend_add fs i id;
         Flat_state.set_loc fs id (Flat_state.loc_pending ~machine:i);
         (match trace with
         | None -> ()
         | Some tr ->
-            Trace.record tr (Flat_state.clock fs) (Trace.Dispatch { job = id; machine = i }));
+            (Trace.record tr (Flat_state.clock fs) (Trace.Dispatch { job = id; machine = i })
+            [@rejlint.cold]));
         (match instr with
         | None -> ()
         | Some ins ->
             Sched_obs.Metric.Counter.inc ins.c_dispatch;
             Sched_obs.Metric.Gauge.inc ins.g_pending.(i);
             Sched_obs.Metric.Gauge.inc ins.g_inflight.(i));
-        (match (decision.reject, decision.restart) with
-        | [], [] ->
+        (* The scrutinee avoids pairing the two lists up: a tuple pattern
+           match would compile allocation-free anyway, but the static
+           proof is structural and cannot assume that optimization. *)
+        match decision.reject with
+        | [] when decision.restart = [] ->
             (* [sort_uniq [i] = [i]]: the common no-rejection case skips
                the list plumbing but starts exactly the same machine. *)
             try_start i
-        | reject, restart ->
-            let touched = List.map reject_job reject in
-            let touched = touched @ List.map restart_job restart in
-            List.iter try_start (List.sort_uniq Int.compare (i :: touched)))
+        | _ ->
+            (* Rejection path: list plumbing is O(#rejections), not
+               O(#events), so it may allocate. *)
+            ((let touched = List.map reject_job decision.reject in
+              let touched = touched @ List.map restart_job decision.restart in
+              List.iter try_start (List.sort_uniq Int.compare (i :: touched)))
+            [@rejlint.cold])
       end
       else begin
         let payload = Flat_state.ev_payload fs in
@@ -889,7 +911,8 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           (match trace with
           | None -> ()
           | Some tr ->
-              Trace.record tr (Flat_state.clock fs) (Trace.Complete { job = id; machine = i }));
+              (Trace.record tr (Flat_state.clock fs) (Trace.Complete { job = id; machine = i })
+              [@rejlint.cold]));
           (match instr with
           | None -> ()
           | Some ins ->
@@ -934,6 +957,11 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
   (schedule, pstate, vw)
 
 let run_view ?trace ?obs ?check ?impl policy instance =
+  (* The impl selector is benchmark plumbing, not policy state: both
+     impls produce byte-identical schedules (enforced by the
+     differential gates), so which one runs is unobservable to any
+     policy decision. *)
+  (* rejlint: allow policy-purity *)
   match (match impl with Some i -> i | None -> !default_impl_ref) with
   | Boxed -> run_boxed ?trace ?obs ?check policy instance
   | Flat -> run_flat ?trace ?obs ?check policy instance

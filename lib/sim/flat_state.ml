@@ -236,34 +236,34 @@ let of_instance instance =
 (* ------------------------------------------------------------------ *)
 (* Immutable reads. *)
 
-let instance t = t.instance
-let n t = t.n
-let m t = t.m
-let job t id = t.jobs.(id)
-let release t id = t.release.(id)
-let weight t id = t.weight.(id)
-let min_size t id = t.min_size.(id)
-let size t ~machine ~job = t.size_col.((machine * t.n) + job)
-let eligible t ~machine ~job = Float.is_finite (size t ~machine ~job)
-let density t ~machine ~job = t.dens_col.((machine * t.n) + job)
-let total_weight t = t.total_weight
-let alpha t i = (Instance.machine t.instance i).Machine.alpha
-let mach_speed t i = (Instance.machine t.instance i).Machine.speed
+let[@rejlint.hot] instance t = t.instance
+let[@rejlint.hot] n t = t.n
+let[@rejlint.hot] m t = t.m
+let[@rejlint.hot] job t id = t.jobs.(id)
+let[@rejlint.hot] release t id = t.release.(id)
+let[@rejlint.hot] weight t id = t.weight.(id)
+let[@rejlint.hot] min_size t id = t.min_size.(id)
+let[@rejlint.hot] size t ~machine ~job = t.size_col.((machine * t.n) + job)
+let[@rejlint.hot] eligible t ~machine ~job = Float.is_finite (size t ~machine ~job)
+let[@rejlint.hot] density t ~machine ~job = t.dens_col.((machine * t.n) + job)
+let[@rejlint.hot] total_weight t = t.total_weight
+let[@rejlint.hot] alpha t i = (Instance.machine t.instance i).Machine.alpha
+let[@rejlint.hot] mach_speed t i = (Instance.machine t.instance i).Machine.speed
 
 (* ------------------------------------------------------------------ *)
 (* Clock and status. *)
 
-let clock t = t.facc.(f_clock)
-let set_clock t v = t.facc.(f_clock) <- v
-let loc t id = t.loc.(id)
-let set_loc t id l = t.loc.(id) <- l
-let saw_restart t = t.saw_restart
-let set_saw_restart t = t.saw_restart <- true
+let[@rejlint.hot] clock t = t.facc.(f_clock)
+let[@rejlint.hot] set_clock t v = t.facc.(f_clock) <- v
+let[@rejlint.hot] loc t id = t.loc.(id)
+let[@rejlint.hot] set_loc t id l = t.loc.(id) <- l
+let[@rejlint.hot] saw_restart t = t.saw_restart
+let[@rejlint.hot] set_saw_restart t = t.saw_restart <- true
 
 (* ------------------------------------------------------------------ *)
 (* Pending sets. *)
 
-let pend_add t i id =
+let[@rejlint.hot] pend_add t i id =
   Pqueue.Iheap.add t.by_spt.(i) ~id;
   if t.live_spt_rev then Pqueue.Iheap.add t.by_spt_rev.(i) ~id;
   if t.live_density then Pqueue.Iheap.add t.by_density.(i) ~id;
@@ -272,7 +272,7 @@ let pend_add t i id =
   t.p_work.(i) <- t.p_work.(i) +. size t ~machine:i ~job:id;
   t.p_weight.(i) <- t.p_weight.(i) +. t.weight.(id)
 
-let pend_remove t i id =
+let[@rejlint.hot] pend_remove t i id =
   if not (Pqueue.Iheap.remove t.by_spt.(i) ~id) then false
   else begin
     if t.live_spt_rev then ignore (Pqueue.Iheap.remove t.by_spt_rev.(i) ~id);
@@ -292,11 +292,11 @@ let pend_remove t i id =
     true
   end
 
-let pend_count t i = Pqueue.Iheap.size t.by_spt.(i)
-let pend_work t i = t.p_work.(i)
-let pend_weight t i = t.p_weight.(i)
-let pend_iter t i ~f = Pqueue.Iheap.iter t.by_spt.(i) ~f
-let head_spt t i = Pqueue.Iheap.min_id t.by_spt.(i)
+let[@rejlint.hot] pend_count t i = Pqueue.Iheap.size t.by_spt.(i)
+let[@rejlint.hot] pend_work t i = t.p_work.(i)
+let[@rejlint.hot] pend_weight t i = t.p_weight.(i)
+let[@rejlint.hot] pend_iter t i ~f = Pqueue.Iheap.iter t.by_spt.(i) ~f
+let[@rejlint.hot] head_spt t i = Pqueue.Iheap.min_id t.by_spt.(i)
 
 (* First head lookup on a dormant order: fill its heaps from the current
    pending sets and flip it live.  The rebuilt layout differs from the
@@ -307,28 +307,28 @@ let wake t aux =
     Pqueue.Iheap.iter t.by_spt.(i) ~f:(fun id -> Pqueue.Iheap.add aux.(i) ~id)
   done
 
-let head_spt_rev t i =
+let[@rejlint.hot] head_spt_rev t i =
   if not t.live_spt_rev then begin
     wake t t.by_spt_rev;
     t.live_spt_rev <- true
   end;
   Pqueue.Iheap.min_id t.by_spt_rev.(i)
 
-let head_density t i =
+let[@rejlint.hot] head_density t i =
   if not t.live_density then begin
     wake t t.by_density;
     t.live_density <- true
   end;
   Pqueue.Iheap.min_id t.by_density.(i)
 
-let head_size_id t i =
+let[@rejlint.hot] head_size_id t i =
   if not t.live_size_id then begin
     wake t t.by_size_id;
     t.live_size_id <- true
   end;
   Pqueue.Iheap.min_id t.by_size_id.(i)
 
-let head_fifo t i =
+let[@rejlint.hot] head_fifo t i =
   if not t.live_fifo then begin
     wake t t.by_fifo;
     t.live_fifo <- true
@@ -338,20 +338,20 @@ let head_fifo t i =
 (* ------------------------------------------------------------------ *)
 (* Running slots. *)
 
-let run_job t i = t.run_job.(i)
-let run_started t i = t.run_started.(i)
-let run_rate t i = t.run_rate.(i)
-let run_finish t i = t.run_finish.(i)
-let epoch t i = t.epoch.(i)
-let bump_epoch t i = t.epoch.(i) <- t.epoch.(i) + 1
+let[@rejlint.hot] run_job t i = t.run_job.(i)
+let[@rejlint.hot] run_started t i = t.run_started.(i)
+let[@rejlint.hot] run_rate t i = t.run_rate.(i)
+let[@rejlint.hot] run_finish t i = t.run_finish.(i)
+let[@rejlint.hot] epoch t i = t.epoch.(i)
+let[@rejlint.hot] bump_epoch t i = t.epoch.(i) <- t.epoch.(i) + 1
 
-let set_running t i ~job ~started ~rate ~finish =
+let[@rejlint.hot] set_running t i ~job ~started ~rate ~finish =
   t.run_job.(i) <- job;
   t.run_started.(i) <- started;
   t.run_rate.(i) <- rate;
   t.run_finish.(i) <- finish
 
-let clear_running t i = t.run_job.(i) <- -1
+let[@rejlint.hot] clear_running t i = t.run_job.(i) <- -1
 
 (* ------------------------------------------------------------------ *)
 (* Events.  The shared [seq] counter mirrors the boxed driver's: arrivals
@@ -368,17 +368,17 @@ let seed_arrivals t =
         ~payload:j.Job.id)
     (Instance.jobs_by_release t.instance)
 
-let push_finish t ~machine ~time =
+let[@rejlint.hot] push_finish t ~machine ~time =
   t.seq <- t.seq + 1;
   Pqueue.Events.push t.events ~key:time
     ~tag:(Pqueue.Events.Key.finish_tag ~seq:t.seq)
     ~payload:(Pqueue.Events.Key.finish_payload ~machine ~epoch:t.epoch.(machine))
 
-let next_event t = Pqueue.Events.pop t.events
-let events_pushed t = t.seq
-let ev_time t = Pqueue.Events.key t.events
-let ev_tag t = Pqueue.Events.tag t.events
-let ev_payload t = Pqueue.Events.payload t.events
+let[@rejlint.hot] next_event t = Pqueue.Events.pop t.events
+let[@rejlint.hot] events_pushed t = t.seq
+let[@rejlint.hot] ev_time t = Pqueue.Events.key t.events
+let[@rejlint.hot] ev_tag t = Pqueue.Events.tag t.events
+let[@rejlint.hot] ev_payload t = Pqueue.Events.payload t.events
 
 (* ------------------------------------------------------------------ *)
 (* Segments and accounting.  Operation order copies the boxed driver's
@@ -407,7 +407,7 @@ let grow_segments t =
     t.seg_speed <- ns
   end
 
-let lay_segment t ~job ~machine ~start ~stop ~speed =
+let[@rejlint.hot] lay_segment t ~job ~machine ~start ~stop ~speed =
   grow_segments t;
   let s = t.seg_len in
   t.seg_job.(s) <- job;
@@ -419,9 +419,9 @@ let lay_segment t ~job ~machine ~start ~stop ~speed =
   t.facc.(f_energy) <- t.facc.(f_energy) +. ((stop -. start) *. (speed ** alpha t machine));
   if stop > t.facc.(f_makespan) then t.facc.(f_makespan) <- stop
 
-let seg_count t = t.seg_len
+let[@rejlint.hot] seg_count t = t.seg_len
 
-let account_completion t id finish =
+let[@rejlint.hot] account_completion t id finish =
   let f = finish -. t.release.(id) in
   t.a_completed <- t.a_completed + 1;
   t.facc.(f_flow) <- t.facc.(f_flow) +. f;
@@ -430,7 +430,7 @@ let account_completion t id finish =
   let stretch = f /. t.min_size.(id) in
   if stretch > t.facc.(f_max_stretch) then t.facc.(f_max_stretch) <- stretch
 
-let account_rejection t id time ~was_running =
+let[@rejlint.hot] account_rejection t id time ~was_running =
   let f = time -. t.release.(id) in
   t.a_rejected <- t.a_rejected + 1;
   t.facc.(f_rej_flow) <- t.facc.(f_rej_flow) +. f;
@@ -441,11 +441,11 @@ let account_rejection t id time ~was_running =
 (* ------------------------------------------------------------------ *)
 (* Outcomes. *)
 
-let check_undecided t id =
+let[@rejlint.hot] check_undecided t id =
   if t.out_kind.(id) <> out_none then
-    invalid_arg (Printf.sprintf "Flat_state: job %d already decided" id)
+    (invalid_arg (Printf.sprintf "Flat_state: job %d already decided" id) [@rejlint.cold])
 
-let outcome_completed t ~job ~machine ~start ~speed ~finish =
+let[@rejlint.hot] outcome_completed t ~job ~machine ~start ~speed ~finish =
   check_undecided t job;
   t.out_kind.(job) <- out_completed;
   t.out_machine.(job) <- machine;
@@ -453,7 +453,7 @@ let outcome_completed t ~job ~machine ~start ~speed ~finish =
   t.out_speed.(job) <- speed;
   t.out_finish.(job) <- finish
 
-let outcome_rejected t ~job ~machine ~time ~was_running =
+let[@rejlint.hot] outcome_rejected t ~job ~machine ~time ~was_running =
   check_undecided t job;
   t.out_kind.(job) <- out_rejected;
   t.out_machine.(job) <- machine;
@@ -464,18 +464,18 @@ let outcome_rejected t ~job ~machine ~time ~was_running =
 (* Live metrics, read out of the accumulators.  The field-by-field
    arithmetic matches the boxed driver's [live]. *)
 
-let completed t = t.a_completed
-let rejected t = t.a_rejected
-let mid_run t = t.a_mid_run
-let flow t = t.facc.(f_flow)
-let wflow t = t.facc.(f_wflow)
-let rej_flow t = t.facc.(f_rej_flow)
-let rej_wflow t = t.facc.(f_rej_wflow)
-let max_flow t = t.facc.(f_max_flow)
-let max_stretch t = t.facc.(f_max_stretch)
-let energy t = t.facc.(f_energy)
-let makespan t = t.facc.(f_makespan)
-let rej_weight t = t.facc.(f_rej_weight)
+let[@rejlint.hot] completed t = t.a_completed
+let[@rejlint.hot] rejected t = t.a_rejected
+let[@rejlint.hot] mid_run t = t.a_mid_run
+let[@rejlint.hot] flow t = t.facc.(f_flow)
+let[@rejlint.hot] wflow t = t.facc.(f_wflow)
+let[@rejlint.hot] rej_flow t = t.facc.(f_rej_flow)
+let[@rejlint.hot] rej_wflow t = t.facc.(f_rej_wflow)
+let[@rejlint.hot] max_flow t = t.facc.(f_max_flow)
+let[@rejlint.hot] max_stretch t = t.facc.(f_max_stretch)
+let[@rejlint.hot] energy t = t.facc.(f_energy)
+let[@rejlint.hot] makespan t = t.facc.(f_makespan)
+let[@rejlint.hot] rej_weight t = t.facc.(f_rej_weight)
 
 (* ------------------------------------------------------------------ *)
 (* Materialization: the one deliberately boxing step, run once at the end

@@ -4,3 +4,6 @@ let show x = print_endline x
 let report n = Printf.printf "n=%d\n" n
 let warn msg = prerr_endline msg
 let tick () = Format.printf "@."
+let fshow n = Printf.fprintf stdout "n=%d\n" n
+let fwarn msg = Format.fprintf Format.err_formatter "%s@." msg
+let raw s = output_string stdout s

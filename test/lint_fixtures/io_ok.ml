@@ -1,5 +1,9 @@
-(* Fixture: string building and buffer writes must NOT fire RJL005. *)
+(* Fixture: string building, buffer writes, and writes to a channel the
+   caller chose must NOT fire RJL005 — only the std channels are the
+   console. *)
 
 let render n = Printf.sprintf "n=%d" n
 let to_buf buf s = Buffer.add_string buf s
 let pp ppf n = Format.fprintf ppf "n=%d" n
+let log oc s = Printf.fprintf oc "%s\n" s
+let save oc s = output_string oc s

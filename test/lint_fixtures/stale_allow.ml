@@ -1,0 +1,4 @@
+(* Fixture: a suppression that silences nothing — RJL009 flags it as a
+   warning so dead allow-comments don't outlive the code they excused. *)
+
+let identity x = x (* rejlint: allow nondet-source *)

@@ -1,0 +1,19 @@
+(* Fixture: banned paths the syntactic tier cannot see — a module
+   alias, a functor application, and a [let module] rebinding.  The
+   typed tier resolves all three and fires RJL100. *)
+
+module R = Random
+
+module H = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.seeded_hash 0
+end)
+
+let reseed () = R.self_init ()
+let walk (h : int H.t) f = H.iter f h
+
+let elapsed () =
+  let module S = Sys in
+  S.time ()

@@ -1,0 +1,10 @@
+(* Fixture: aliases of benign modules stay silent, and a direct banned
+   call is the syntactic tier's finding — RJL100 must not double-report
+   what tier 1 already sees. *)
+
+module L = List
+
+let total xs = L.fold_left ( + ) 0 xs
+
+(* Visible to tier 1 (RJL007 owns it): RJL100 stays quiet here. *)
+let process_clock () = Sys.time ()

@@ -1,0 +1,9 @@
+(* Fixture: polymorphic comparison at float-bearing types — invisible
+   to tier 1's RJL002 (no sort in sight), flagged by RJL101 from the
+   instantiated types. *)
+
+type point = { x : float; y : float }
+
+let close a (b : point) = a = b
+let worst xs = List.fold_left min infinity xs
+let order (a : point) b = compare a b

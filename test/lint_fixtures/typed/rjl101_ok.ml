@@ -1,0 +1,9 @@
+(* Fixture: the comparisons RJL101 accepts — constant-constructor
+   equality (tag inspection only), safe atomic types, primitive float
+   ordering, and the typed comparators themselves. *)
+
+let is_empty l = l = []
+let missing o = o = None
+let le (a : int) b = a <= b
+let before (a : float) b = a < b
+let fcmp (a : float) b = Float.compare a b

@@ -1,0 +1,11 @@
+(* Fixture: a policy registry whose entries are impure — one reaches a
+   mutable toplevel through a helper, one calls Random directly.  RJL102
+   walks the call graph and flags both. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let lookup name = Hashtbl.find_opt table name
+
+module Policy_registry = struct
+  let pack name = lookup name
+  let seeded () = Random.int 10
+end

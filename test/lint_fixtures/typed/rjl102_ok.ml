@@ -1,0 +1,13 @@
+(* Fixture: a pure registry.  The mutable toplevel exists but no entry
+   point reaches it, so RJL102 stays silent. *)
+
+let unreached_cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let scale = 2.0
+let double x = x *. scale
+
+module Policy_registry = struct
+  let pack x = double x
+  let shift x = x + 1
+end
+
+let outside_user () = Hashtbl.length unreached_cache

@@ -1,0 +1,16 @@
+(* Fixture: a deliberately boxed variant of the flat event loop's
+   shapes.  Every hot body below allocates structurally; RJL103 flags
+   each construct. *)
+
+type st = { mutable clock : float; q : float array }
+
+let[@rejlint.hot] step st i =
+  let pair = (st.q.(i), i) in
+  st.clock <- fst pair;
+  Some i
+
+let[@rejlint.hot] total st = st.q.(0) +. st.clock
+
+let[@rejlint.hot] reader st =
+  let f i = st.q.(i) in
+  f

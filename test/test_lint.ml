@@ -13,7 +13,17 @@ let scope name =
   | Some s -> s
   | None -> Alcotest.failf "unknown scope %S" name
 
-let fixture name = Filename.concat "lint_fixtures" name
+(* dune runtest runs with cwd _build/default/test; a direct
+   `dune exec test/test_main.exe` from the repo root must find the same
+   fixture tree (with its built .cmt files) inside _build. *)
+let fixture_base =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else
+    Filename.concat
+      (Filename.concat "_build" "default")
+      (Filename.concat "test" "lint_fixtures")
+
+let fixture name = Filename.concat fixture_base name
 
 let lint ?(scope_name = "lib") name =
   RL.Lint.lint_file ~check_mli:false ~scope:(scope scope_name) (fixture name)
@@ -95,8 +105,9 @@ let test_mutable_allow () =
 
 let test_io_bad () =
   let fs = lint "io_bad.ml" in
-  Alcotest.(check int) "findings" 4 (List.length fs);
-  check_all_rule RL.Rule.Stray_io fs
+  Alcotest.(check int) "findings" 7 (List.length fs);
+  check_all_rule RL.Rule.Stray_io fs;
+  Alcotest.(check (list int)) "lines" [ 3; 4; 5; 6; 7; 8; 9 ] (lines fs)
 
 let test_io_ok_in_bin () =
   (* The same I/O is fine in bin/ and in the display modules. *)
@@ -164,7 +175,7 @@ let test_mli_coverage () =
   let buf = Buffer.create 256 in
   let code =
     RL.Driver.run ~out:(Buffer.add_string buf)
-      [ "--scope"; "lib"; "--root"; "lint_fixtures"; "mli" ]
+      [ "--scope"; "lib"; "--root"; fixture_base; "mli" ]
   in
   let out = Buffer.contents buf in
   Alcotest.(check int) "exit" 1 code;
@@ -218,13 +229,29 @@ let test_wallclock_beats_nondet () =
   Alcotest.(check (list string)) "rules" [ "wall-clock" ]
     (List.map RL.Rule.to_string (rules fs))
 
+let test_io_applied_std_channels () =
+  (* fprintf/output_string reach the console only through a std channel
+     argument; the channel decides the verdict. *)
+  let bad =
+    "let a oc = Printf.fprintf stderr \"x\"\n\
+     let b () = Format.fprintf Format.std_formatter \"x\"\n\
+     let c () = output_char stdout 'x'\n"
+  in
+  let fs = lint_src bad in
+  Alcotest.(check int) "std channels fire" 3 (List.length fs);
+  check_all_rule RL.Rule.Stray_io fs;
+  Alcotest.(check int) "caller's channel clean" 0
+    (List.length (lint_src "let a oc = Printf.fprintf oc \"x\"\nlet b oc = output_char oc 'x'\n"))
+
 (* --- suppression semantics -------------------------------------------- *)
 
 let test_suppress_scope_lines () =
+  (* The marker is split so rejlint's own line scan doesn't read this
+     literal as a suppression entry in this file. *)
   let src =
-    "(* rejlint: allow nondet-source *)\n\
-     let a () = Random.self_init ()\n\
-     let b () = Random.self_init ()\n"
+    "(* rejlint" ^ ": allow nondet-source *)\n\
+                    let a () = Random.self_init ()\n\
+                    let b () = Random.self_init ()\n"
   in
   let sup = RL.Suppress.scan src in
   Alcotest.(check bool) "line below" true
@@ -237,12 +264,128 @@ let test_suppress_scope_lines () =
   Alcotest.(check (list int)) "lines" [ 3 ] (lines (lint_src src))
 
 let test_suppress_code_synonym () =
-  let src = "let a () = Random.self_init () (* rejlint: allow RJL001 *)\n" in
+  let src = "let a () = Random.self_init () (* rejlint" ^ ": allow RJL001 *)\n" in
   Alcotest.(check int) "code synonym" 0 (List.length (lint_src src))
 
 let test_suppress_all () =
-  let src = "let a () = Sys.time () (* rejlint: allow all *)\n" in
+  let src = "let a () = Sys.time () (* rejlint" ^ ": allow all *)\n" in
   Alcotest.(check int) "all" 0 (List.length (lint_src src))
+
+let test_suppress_multiple_findings_one_line () =
+  (* One trailing comment naming two rules silences both findings the
+     line produces. *)
+  let src =
+    "let a () = (Random.self_init (), Sys.time ()) (* rejlint"
+    ^ ": allow RJL001 RJL007 *)\n"
+  in
+  Alcotest.(check int) "both silenced" 0 (List.length (lint_src src));
+  (* Naming only one of the two leaves the other standing. *)
+  let partial =
+    "let a () = (Random.self_init (), Sys.time ()) (* rejlint" ^ ": allow RJL001 *)\n"
+  in
+  Alcotest.(check (list string)) "other stands" [ "wall-clock" ]
+    (List.map RL.Rule.to_string (rules (lint_src partial)))
+
+let test_suppress_last_line_no_newline () =
+  (* A suppression on the final line of a file with no trailing newline
+     must still be scanned (the flush-at-EOF path). *)
+  let src = "let a () = Sys.time () (* rejlint" ^ ": allow RJL007 *)" in
+  Alcotest.(check int) "last line" 0 (List.length (lint_src src))
+
+let test_suppress_crlf_source () =
+  (* CRLF line endings: the \r must not break marker or token parsing,
+     and line numbers must still line up. *)
+  let src =
+    "(* rejlint" ^ ": allow nondet-source *)\r\nlet a () = Random.self_init ()\r\n"
+  in
+  Alcotest.(check int) "crlf suppressed" 0 (List.length (lint_src src));
+  let trailing =
+    "let a () = Random.self_init () (* rejlint" ^ ": allow RJL001 *)\r\nlet b () = Sys.time ()\r\n"
+  in
+  Alcotest.(check (list string)) "crlf line numbers" [ "wall-clock" ]
+    (List.map RL.Rule.to_string (rules (lint_src trailing)))
+
+(* --- stale suppressions (RJL009) --------------------------------------- *)
+
+let mk_finding ?(rule = RL.Rule.Nondet_source) ?(severity = RL.Rule.Error)
+    ?(file = "inline.ml") ?(line = 1) ?(col = 0) msg =
+  RL.Finding.make ~rule ~severity ~file ~line ~col msg
+
+let scan_one src = RL.Suppress.scan src
+
+let test_stale_suppress_fires () =
+  let t = scan_one ("let id x = x (* rejlint" ^ ": allow RJL001 *)\n") in
+  match RL.Suppress.unused t ~typed_ran:false [] with
+  | [ (1, msg) ] ->
+      Alcotest.(check bool) "message names entry" true (Test_util.contains msg "allow RJL001")
+  | _ -> Alcotest.fail "expected one stale entry"
+
+let test_stale_suppress_used_entry_quiet () =
+  let t = scan_one ("let a () = Random.self_init () (* rejlint" ^ ": allow RJL001 *)\n") in
+  let fs = [ mk_finding ~line:1 "x" ] in
+  Alcotest.(check int) "used entry" 0 (List.length (RL.Suppress.unused t ~typed_ran:false fs));
+  (* The line-below form is also a use. *)
+  let below = scan_one ("(* rejlint" ^ ": allow RJL001 *)\nlet a () = Random.self_init ()\n") in
+  let fs = [ mk_finding ~line:2 "x" ] in
+  Alcotest.(check int) "line below" 0 (List.length (RL.Suppress.unused below ~typed_ran:false fs))
+
+let test_stale_suppress_tier_gating () =
+  (* A typed-rule suppression cannot be judged by a syntactic-only run:
+     the findings it might match were never computed. *)
+  let t = scan_one ("let f x = x (* rejlint" ^ ": allow hot-alloc *)\n") in
+  Alcotest.(check int) "typed rule gated" 0
+    (List.length (RL.Suppress.unused t ~typed_ran:false []));
+  Alcotest.(check int) "typed run judges it" 1
+    (List.length (RL.Suppress.unused t ~typed_ran:true []));
+  (* [allow all] spans both tiers, so only a full run can call it stale. *)
+  let all = scan_one ("let f x = x (* rejlint" ^ ": allow all *)\n") in
+  Alcotest.(check int) "all gated" 0 (List.length (RL.Suppress.unused all ~typed_ran:false []));
+  Alcotest.(check int) "all judged" 1 (List.length (RL.Suppress.unused all ~typed_ran:true []))
+
+let test_stale_suppress_driver_warns () =
+  (* End to end: a stale entry surfaces as a warning finding — reported,
+     but not an error exit. *)
+  let buf = Buffer.create 256 in
+  let code =
+    RL.Driver.run ~out:(Buffer.add_string buf) [ "--scope"; "lib"; fixture "stale_allow.ml" ]
+  in
+  let out = Buffer.contents buf in
+  Alcotest.(check int) "warning exit" 0 code;
+  Alcotest.(check bool) "RJL009 reported" true (Test_util.contains out "RJL009");
+  Alcotest.(check bool) "is a warning" true (Test_util.contains out "[warning]")
+
+(* --- report ordering --------------------------------------------------- *)
+
+let test_finding_order_total () =
+  (* The report order is a pinned total order: file, line, column, rule
+     (catalog position), severity (errors first), message. *)
+  let f ?rule ?severity ?file ?line ?col msg = mk_finding ?rule ?severity ?file ?line ?col msg in
+  let expected =
+    [
+      f ~file:"a.ml" ~line:2 ~col:0 "x";
+      f ~file:"b.ml" ~line:1 ~col:0 "x";
+      f ~file:"b.ml" ~line:1 ~col:4 ~rule:RL.Rule.Stray_io "x";
+      f ~file:"b.ml" ~line:1 ~col:9 ~rule:RL.Rule.Poly_compare "x";
+      f ~file:"b.ml" ~line:1 ~col:9 ~rule:RL.Rule.Stray_io ~severity:RL.Rule.Error "x";
+      f ~file:"b.ml" ~line:1 ~col:9 ~rule:RL.Rule.Stray_io ~severity:RL.Rule.Warning "x";
+      f ~file:"b.ml" ~line:1 ~col:9 ~rule:RL.Rule.Stale_suppress "a then";
+      f ~file:"b.ml" ~line:1 ~col:9 ~rule:RL.Rule.Stale_suppress "b after";
+      f ~file:"b.ml" ~line:3 ~col:0 "x";
+    ]
+  in
+  (* A deterministic scramble (reverse + interleave) must sort back. *)
+  let scrambled =
+    let rec weave a b =
+      match (a, b) with
+      | [], r | r, [] -> r
+      | x :: xs, y :: ys -> x :: y :: weave xs ys
+    in
+    let rev = List.rev expected in
+    weave rev (List.rev rev)
+  in
+  let sorted = List.sort_uniq RL.Finding.order scrambled in
+  let show fs = String.concat "\n" (List.map RL.Finding.to_human fs) in
+  Alcotest.(check string) "golden order" (show expected) (show sorted)
 
 (* --- rule catalog and report formats ----------------------------------- *)
 
@@ -358,6 +501,17 @@ let suite =
     Alcotest.test_case "suppress: line scope" `Quick test_suppress_scope_lines;
     Alcotest.test_case "suppress: RJLnnn synonym" `Quick test_suppress_code_synonym;
     Alcotest.test_case "suppress: all" `Quick test_suppress_all;
+    Alcotest.test_case "suppress: two findings, one line" `Quick
+      test_suppress_multiple_findings_one_line;
+    Alcotest.test_case "suppress: last line, no newline" `Quick
+      test_suppress_last_line_no_newline;
+    Alcotest.test_case "suppress: CRLF sources" `Quick test_suppress_crlf_source;
+    Alcotest.test_case "stale: unused entry flagged" `Quick test_stale_suppress_fires;
+    Alcotest.test_case "stale: used entry quiet" `Quick test_stale_suppress_used_entry_quiet;
+    Alcotest.test_case "stale: typed rules gated by tier" `Quick test_stale_suppress_tier_gating;
+    Alcotest.test_case "stale: driver reports a warning" `Quick test_stale_suppress_driver_warns;
+    Alcotest.test_case "report order is a pinned total order" `Quick test_finding_order_total;
+    Alcotest.test_case "io: std-channel applied forms" `Quick test_io_applied_std_channels;
     Alcotest.test_case "rule catalog roundtrips" `Quick test_rule_roundtrip;
     Alcotest.test_case "human report format" `Quick test_human_format;
     Alcotest.test_case "json report format" `Quick test_driver_json;

@@ -1,0 +1,203 @@
+(* Tests for rejlint's typed tier (lib/analysis/typed/).
+
+   The fixtures live in test/lint_fixtures/typed/ as .ml sources; the
+   dune rules there compile each one with [ocamlc -bin-annot], so the
+   .cmt files the tests load go through exactly the loader path
+   dune-built units take.  Each RJL1xx rule gets violating and clean
+   fixtures; two meta-tests then turn the tier on the repository itself:
+   the tree must be typed-clean, and the flat core's [@rejlint.hot]
+   annotations must still be present (deleting one is a silent loss of
+   the static zero-alloc proof, so the guard fails loudly). *)
+
+module RL = Rejlint_lib
+
+(* See Test_lint.fixture_base: cwd is _build/default/test under dune
+   runtest, the repo root under a direct exec. *)
+let fixture_base =
+  let local = Filename.concat "lint_fixtures" "typed" in
+  if Sys.file_exists local then local
+  else
+    Filename.concat
+      (Filename.concat "_build" "default")
+      (Filename.concat "test" local)
+
+let fixture name = Filename.concat fixture_base name
+
+let lib_scope =
+  match RL.Scope.of_string "lib" with
+  | Some s -> s
+  | None -> failwith "lib scope unavailable"
+
+let lint name = RL.Typed_lint.lint_cmts ~scope:lib_scope [ fixture name ]
+let rules findings = List.map (fun f -> RL.Rule.to_string f.RL.Finding.rule) findings
+let lines findings = List.map (fun f -> f.RL.Finding.line) findings
+
+let check_rule rule findings =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "rule" (RL.Rule.to_string rule)
+        (RL.Rule.to_string f.RL.Finding.rule))
+    findings
+
+(* --- RJL100: alias-proof banned paths ---------------------------------- *)
+
+let test_rjl100_bad () =
+  let fs = lint "rjl100_bad.cmt" in
+  Alcotest.(check int) "findings" 3 (List.length fs);
+  check_rule RL.Rule.Typed_nondet fs;
+  Alcotest.(check (list int)) "lines" [ 14; 15; 19 ] (lines fs);
+  (* The messages carry both spellings: what the source wrote and what
+     it resolves to. *)
+  match fs with
+  | f :: _ ->
+      Alcotest.(check bool) "resolved path" true
+        (Test_util.contains f.RL.Finding.message "Random.self_init");
+      Alcotest.(check bool) "written path" true
+        (Test_util.contains f.RL.Finding.message "R.self_init")
+  | [] -> Alcotest.fail "expected findings"
+
+let test_rjl100_ok () =
+  (* Benign aliases are silent, and so is a direct banned call — that
+     one belongs to the syntactic tier, not to RJL100. *)
+  Alcotest.(check (list string)) "clean" [] (rules (lint "rjl100_ok.cmt"))
+
+(* --- RJL101: type-aware polymorphic comparison ------------------------- *)
+
+let test_rjl101_bad () =
+  let fs = lint "rjl101_bad.cmt" in
+  Alcotest.(check int) "findings" 3 (List.length fs);
+  check_rule RL.Rule.Typed_poly_compare fs;
+  Alcotest.(check (list int)) "lines" [ 7; 8; 9 ] (lines fs)
+
+let test_rjl101_ok () =
+  (* Constant constructors, safe atomics, primitive float ordering and
+     Float.compare all pass. *)
+  Alcotest.(check (list string)) "clean" [] (rules (lint "rjl101_ok.cmt"))
+
+(* --- RJL102: policy purity --------------------------------------------- *)
+
+let test_rjl102_bad () =
+  let fs = lint "rjl102_bad.cmt" in
+  Alcotest.(check int) "findings" 2 (List.length fs);
+  check_rule RL.Rule.Policy_purity fs;
+  (* One finding is the transitive mutable-toplevel reach, with its call
+     chain spelled out; the other is the direct Random hazard. *)
+  let msgs = String.concat "\n" (List.map (fun f -> f.RL.Finding.message) fs) in
+  Alcotest.(check bool) "mutable reach" true (Test_util.contains msgs "mutable toplevel");
+  Alcotest.(check bool) "chain" true (Test_util.contains msgs "Policy_registry.pack ->");
+  Alcotest.(check bool) "random hazard" true (Test_util.contains msgs "Random")
+
+let test_rjl102_ok () =
+  (* A mutable toplevel the registry never reaches is not a violation. *)
+  Alcotest.(check (list string)) "clean" [] (rules (lint "rjl102_ok.cmt"))
+
+(* --- RJL103: static zero-alloc for hot functions ----------------------- *)
+
+let test_rjl103_bad () =
+  let fs = lint "rjl103_bad.cmt" in
+  Alcotest.(check int) "findings" 4 (List.length fs);
+  check_rule RL.Rule.Hot_alloc fs;
+  let msgs = String.concat "\n" (List.map (fun f -> f.RL.Finding.message) fs) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (Test_util.contains msgs needle))
+    [
+      "tuple allocation";
+      "constructor allocation (Some)";
+      "float arithmetic in return position";
+      "closure allocation";
+    ]
+
+let test_rjl103_ok () =
+  (* Stored-float reads, in-place arithmetic and [@rejlint.cold]
+     branches are the allocation-free idiom the flat core uses. *)
+  Alcotest.(check (list string)) "clean" [] (rules (lint "rjl103_ok.cmt"))
+
+(* --- the repository under the typed tier ------------------------------- *)
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project")
+       && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+(* The tests run from _build/default/test, so the repo root found above
+   is _build/default — which is itself the cmt root for the tree. *)
+let cmt_root () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate repository root from cwd"
+  | Some root ->
+      if Sys.is_directory (Filename.concat root "_build") then
+        Filename.concat root (Filename.concat "_build" "default")
+      else root
+
+let test_repo_is_typed_clean () =
+  match RL.Typed_lint.run ~cmt_dir:(cmt_root ()) () with
+  | Error msg -> Alcotest.failf "typed tier found no cmts: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "units loaded" true (r.RL.Typed_lint.units > 50);
+      let errors =
+        List.filter (fun f -> f.RL.Finding.severity = RL.Rule.Error) r.RL.Typed_lint.findings
+      in
+      (* The one expected reach — the impl selector in run_view — is
+         suppressed in the source; everything else must be clean. *)
+      let unsuppressed =
+        List.filter
+          (fun (f : RL.Finding.t) ->
+            (* The build tree mirrors the sources, comments included. *)
+            let src = Filename.concat (cmt_root ()) f.file in
+            not (Sys.file_exists src)
+            ||
+            let ic = open_in_bin src in
+            let len = in_channel_length ic in
+            let text = really_input_string ic len in
+            close_in ic;
+            RL.Suppress.filter (RL.Suppress.scan text) [ f ] <> [])
+          errors
+      in
+      if unsuppressed <> [] then
+        Alcotest.failf "repository is not typed-clean:\n%s"
+          (String.concat "\n" (List.map RL.Finding.to_human unsuppressed))
+
+let test_hot_annotations_guarded () =
+  (* Removing [@rejlint.hot] from the flat core would silently drop the
+     static proof; pin the annotated set. *)
+  let root = cmt_root () in
+  let cmt sub = Filename.concat root sub in
+  let driver_hot =
+    RL.Typed_lint.hot_functions_of_cmt
+      (cmt "lib/sim/.sched_sim.objs/byte/sched_sim__Driver.cmt")
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("driver hot: " ^ name) true (List.mem name driver_hot))
+    [ "loop"; "try_start"; "reject_job"; "restart_job" ];
+  let flat_hot =
+    RL.Typed_lint.hot_functions_of_cmt
+      (cmt "lib/sim/.sched_sim.objs/byte/sched_sim__Flat_state.cmt")
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("flat_state hot: " ^ name) true (List.mem name flat_hot))
+    [ "clock"; "set_clock"; "pend_add"; "pend_remove"; "next_event"; "lay_segment";
+      "account_completion"; "account_rejection"; "outcome_completed"; "outcome_rejected" ];
+  Alcotest.(check bool) "flat_state hot coverage >= 25" true (List.length flat_hot >= 25)
+
+let suite =
+  [
+    Alcotest.test_case "rjl100: aliases and functors fire" `Quick test_rjl100_bad;
+    Alcotest.test_case "rjl100: clean fixture" `Quick test_rjl100_ok;
+    Alcotest.test_case "rjl101: typed poly-compare fires" `Quick test_rjl101_bad;
+    Alcotest.test_case "rjl101: clean fixture" `Quick test_rjl101_ok;
+    Alcotest.test_case "rjl102: impure registry fires" `Quick test_rjl102_bad;
+    Alcotest.test_case "rjl102: pure registry clean" `Quick test_rjl102_ok;
+    Alcotest.test_case "rjl103: boxed hot loop fires" `Quick test_rjl103_bad;
+    Alcotest.test_case "rjl103: flat-core idiom clean" `Quick test_rjl103_ok;
+    Alcotest.test_case "meta: repository is typed-clean" `Quick test_repo_is_typed_clean;
+    Alcotest.test_case "meta: hot annotations guarded" `Quick test_hot_annotations_guarded;
+  ]
