@@ -27,15 +27,19 @@ fuzz-smoke:
 	dune exec bin/rejsched.exe -- fuzz --seed 7 --budget 300 --domains 4 --quiet
 
 # Full experiment tables + Bechamel micro-benchmarks (a few minutes).
+# Benchmarks build with --profile release: the dev profile compiles
+# with -opaque, which disables cross-module inlining and so boxes every
+# float accessor result — perf gates would measure the build mode, not
+# the code.
 bench:
-	dune exec bench/main.exe
+	dune exec --profile release bench/main.exe
 
 # Fast smoke version of the same.
 quick-bench:
-	REJSCHED_QUICK=1 dune exec bench/main.exe
+	REJSCHED_QUICK=1 dune exec --profile release bench/main.exe
 
 # Regression gate: tier-1 tests plus the indexed-vs-scan performance
-# baseline.  Writes BENCH_pr6.json (telemetry counter snapshot and pool
+# baseline.  Writes BENCH_pr8.json (telemetry counter snapshot and pool
 # scaling curve embedded) and compares throughput against the newest
 # previous BENCH_*.json; fails if the driver-event microbenchmark
 # speedup — bare or with telemetry recording — drops below 2x, if the
@@ -47,7 +51,7 @@ quick-bench:
 bench-check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --regression --out BENCH_pr6.json
+	dune exec --profile release bench/main.exe -- --regression --out BENCH_pr8.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -5,6 +5,7 @@
      experiment  regenerate one (or all) of the paper's experiment tables
      adversary   play a lower-bound game (Lemma 1 or Lemma 2)
      fuzz        coverage-guided oracle fuzzing of every registered policy
+     trace       replay an instance under the flight recorder, export traces
      bounds      print the paper's theoretical constants for given eps/alpha
      list        list workloads, policies and experiments
 
@@ -94,6 +95,14 @@ let apply_sizes gen = function
           prerr_endline ("unknown size distribution: " ^ name);
           exit 1)
 
+(* Single sink-resolution point: every FILE-taking output flag
+   (--telemetry, --trace-ndjson, the trace subcommand's --out-ndjson and
+   --out-chrome) means stdout when FILE is '-', a fresh file otherwise. *)
+let write_output target content =
+  match target with
+  | "-" -> print_string content
+  | path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
@@ -180,16 +189,11 @@ let run_cmd =
       | "esa" -> Sched_baselines.Speed_augmented.run ?trace ?obs ~eps_s:0.5 ~eps_r:eps inst
       | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
     in
-    let write_to target content =
-      match target with
-      | "-" -> print_string content
-      | path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
-    in
     (match (telemetry, obs) with
-    | Some target, Some o -> write_to target (Sched_obs.Export.json (Sched_obs.Obs.registry o))
+    | Some target, Some o -> write_output target (Sched_obs.Export.json (Sched_obs.Obs.registry o))
     | _ -> ());
     (match (trace_ndjson, trace) with
-    | Some target, Some t -> write_to target (Sched_sim.Trace_export.to_ndjson t)
+    | Some target, Some t -> write_output target (Sched_sim.Trace_export.to_ndjson t)
     | _ -> ());
     Schedule.assert_valid ~check_deadlines:false schedule;
     let f = Metrics.flow schedule in
@@ -429,13 +433,19 @@ let fuzz_cmd =
                    files are exactly this rendering) and exit without fuzzing.")
   in
   let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-generation progress.") in
+  let forensics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "forensics" ] ~docv:"DIR"
+             ~doc:"Write each failure's flight-recorder dump (the shrunk repro replayed with a \
+                   recorder attached, last decisions as rejsched.trace/2 NDJSON) into DIR.")
+  in
   let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
   let write_case dir c =
     Out_channel.with_open_text
       (Filename.concat dir (Sched_fuzz.Corpus.filename c))
       (fun oc -> Out_channel.output_string oc (Sched_fuzz.Corpus.render c))
   in
-  let action seed budget domains impl telemetry write_corpus write_seed_corpus quiet =
+  let action seed budget domains impl telemetry write_corpus write_seed_corpus forensics quiet =
     apply_impl impl;
     apply_domains domains;
     match write_seed_corpus with
@@ -455,10 +465,7 @@ let fuzz_cmd =
         in
         print_string (Sched_fuzz.Fuzz.report_to_string report);
         (match (telemetry, obs) with
-        | Some target, Some o ->
-            let json = Sched_obs.Export.json (Sched_obs.Obs.registry o) in
-            if target = "-" then print_string json
-            else Out_channel.with_open_text target (fun oc -> Out_channel.output_string oc json)
+        | Some target, Some o -> write_output target (Sched_obs.Export.json (Sched_obs.Obs.registry o))
         | _ -> ());
         (match write_corpus with
         | Some dir when report.Sched_fuzz.Fuzz.failures <> [] ->
@@ -471,6 +478,18 @@ let fuzz_cmd =
                     policy = f.policy;
                     instance = f.shrunk;
                   })
+              report.Sched_fuzz.Fuzz.failures
+        | _ -> ());
+        (match forensics with
+        | Some dir when report.Sched_fuzz.Fuzz.failures <> [] ->
+            ensure_dir dir;
+            List.iteri
+              (fun k (f : Sched_fuzz.Fuzz.failure) ->
+                if f.forensics <> "" then
+                  Out_channel.with_open_text
+                    (Filename.concat dir
+                       (Printf.sprintf "fail-%02d-%s-%s.trace.ndjson" k f.policy f.prop))
+                    (fun oc -> Out_channel.output_string oc f.forensics))
               report.Sched_fuzz.Fuzz.failures
         | _ -> ());
         if report.Sched_fuzz.Fuzz.failures <> [] then begin
@@ -489,12 +508,121 @@ let fuzz_cmd =
   let term =
     Term.(
       const action $ seed_arg $ budget_arg $ domains_arg $ impl_arg $ telemetry_arg $ write_corpus_arg
-      $ write_seed_corpus_arg $ quiet_arg)
+      $ write_seed_corpus_arg $ forensics_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz every registered policy against the schedule-invariant oracle and metamorphic \
              properties; exits 3 with shrunk repro instances on stderr when a violation is found.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let policy_arg =
+    Arg.(value & opt (some string) None
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:"Registry policy to replay (see 'list').  Defaults to the case file's policy \
+                   with --case, to flow-reject otherwise.")
+  in
+  let case_arg =
+    Arg.(value & opt (some string) None
+         & info [ "case" ] ~docv:"FILE"
+             ~doc:"Replay a fuzz-corpus case file (as written by fuzz --write-corpus); the \
+                   case embeds both the instance and the policy.")
+  in
+  let load_arg =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE" ~doc:"Load the instance from FILE instead of generating it.")
+  in
+  let ring_cap_arg =
+    Arg.(value & opt int Sched_obs.Recorder.default_capacity
+         & info [ "ring-cap" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity; when the run emits more events the oldest \
+                   are overwritten.")
+  in
+  let last_arg =
+    Arg.(value & opt (some int) None
+         & info [ "last" ] ~docv:"N" ~doc:"Keep only the newest N events in the NDJSON export.")
+  in
+  let out_ndjson_arg =
+    Arg.(value & opt string "trace.ndjson"
+         & info [ "out-ndjson" ] ~docv:"FILE"
+             ~doc:"Write the rejsched.trace/2 NDJSON export to FILE, or to stdout when FILE \
+                   is '-'.")
+  in
+  let out_chrome_arg =
+    Arg.(value & opt string "trace-chrome.json"
+         & info [ "out-chrome" ] ~docv:"FILE"
+             ~doc:"Write the Chrome trace_event JSON (load in Perfetto / chrome://tracing) to \
+                   FILE, or to stdout when FILE is '-'.")
+  in
+  let action policy case load workload n m seed sizes ring_cap last out_ndjson out_chrome impl =
+    apply_impl impl;
+    if ring_cap < 1 then begin
+      prerr_endline "rejsched: --ring-cap must be >= 1";
+      exit 2
+    end;
+    let inst, case_policy =
+      match (case, load) with
+      | Some path, _ -> (
+          let text = In_channel.with_open_text path In_channel.input_all in
+          match Sched_fuzz.Corpus.parse text with
+          | Ok c -> (c.Sched_fuzz.Corpus.instance, Some c.Sched_fuzz.Corpus.policy)
+          | Error msg ->
+              prerr_endline ("failed to parse case file: " ^ msg);
+              exit 1)
+      | None, Some path -> (
+          match Serialize.load_instance ~path with
+          | Ok inst -> (inst, None)
+          | Error msg ->
+              prerr_endline ("failed to load instance: " ^ msg);
+              exit 1)
+      | None, None ->
+          (Gen.instance (apply_sizes (workload_of_name ~n ~m workload) sizes) ~seed, None)
+    in
+    let policy_name =
+      match (policy, case_policy) with
+      | Some p, _ -> p
+      | None, Some p -> p
+      | None, None -> "flow-reject"
+    in
+    let entry =
+      match Sched_experiments.Policy_registry.find policy_name with
+      | Some e -> e
+      | None ->
+          prerr_endline ("rejsched: unknown registry policy: " ^ policy_name);
+          exit 2
+    in
+    let recorder = Sched_obs.Recorder.create ~capacity:ring_cap () in
+    ignore
+      (entry.Sched_experiments.Policy_registry.run_impl ~recorder
+         ~impl:(Sched_sim.Driver.default_impl ()) ~check:false inst);
+    let ndjson = Sched_sim.Trace_export.recorder_to_ndjson ?last recorder in
+    let chrome = Sched_sim.Perfetto.to_chrome ~machines:(Instance.m inst) recorder in
+    (match Sched_sim.Perfetto.validate chrome with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("rejsched: internal error: invalid Chrome trace produced: " ^ msg);
+        exit 1);
+    write_output out_ndjson ndjson;
+    write_output out_chrome chrome;
+    Printf.eprintf "trace: %d events recorded (%d retained, %d dropped), policy %s -> %s, %s\n%!"
+      (Sched_obs.Recorder.total recorder)
+      (Sched_obs.Recorder.length recorder)
+      (Sched_obs.Recorder.dropped recorder)
+      policy_name out_ndjson out_chrome
+  in
+  let term =
+    Term.(
+      const action $ policy_arg $ case_arg $ load_arg $ workload_arg $ n_arg $ m_arg $ seed_arg
+      $ sizes_arg $ ring_cap_arg $ last_arg $ out_ndjson_arg $ out_chrome_arg $ impl_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay an instance with the flight recorder attached and export the decision \
+             trace as rejsched.trace/2 NDJSON plus Chrome trace_event JSON for Perfetto.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -550,7 +678,7 @@ let () =
     (try
        Cmd.eval ~catch:false
          (Cmd.group info
-            [ run_cmd; experiment_cmd; adversary_cmd; fuzz_cmd; bounds_cmd; gen_cmd; list_cmd ])
+            [ run_cmd; experiment_cmd; adversary_cmd; fuzz_cmd; trace_cmd; bounds_cmd; gen_cmd; list_cmd ])
      with Invalid_argument msg ->
        prerr_endline ("rejsched: " ^ msg);
        2)

@@ -17,12 +17,30 @@ let config ?(budget = 60) ?(policies = P.all) ?(max_shrink = 400) ?(max_failures
   if budget < 1 then invalid_arg "Fuzz.config: budget must be >= 1";
   { seed; budget; policies; max_shrink; max_failures }
 
+(* Forensics: replay the shrunk repro with a flight recorder attached
+   and keep the trace/2 NDJSON tail.  The replay may itself raise — that
+   can be the very failure — but the ring survives the exception, so
+   whatever was recorded up to that point is exactly the evidence the
+   post-mortem wants. *)
+let forensics_last = 64
+
+let capture_forensics (entry : P.entry) inst =
+  let recorder = Sched_obs.Recorder.create ~capacity:4096 () in
+  (try
+     ignore
+       (entry.P.run_impl ~recorder ~impl:(Sched_sim.Driver.default_impl ()) ~check:false inst)
+   with _ -> ());
+  Sched_sim.Trace_export.recorder_to_ndjson ~last:forensics_last recorder
+
 type failure = {
   scenario : Scenario.t;
   policy : string;
   prop : string;
   detail : string;
   shrunk : Instance.t;
+  forensics : string;
+      (* trace/2 NDJSON tail from replaying [shrunk] with a recorder;
+         "" when no entry could be replayed (e.g. generation failures). *)
 }
 
 type report = { evaluated : int; coverage : int; failures : failure list }
@@ -317,16 +335,20 @@ let run ?(progress = fun _ -> ()) ?registry ~pool cfg =
             ~jobs:[ Job.create ~id:0 ~release:0. ~sizes:[| 1. |] () ]
             ()
         in
-        let shrunk, detail =
+        let shrunk, detail, forensics =
           match Scenario.instance scenario with
-          | exception _ -> (placeholder (), f.f_detail)
-          | _ when f.f_prop = "generate" -> (placeholder (), f.f_detail)
+          | exception _ -> (placeholder (), f.f_detail, "")
+          | _ when f.f_prop = "generate" -> (placeholder (), f.f_detail, "")
           | inst -> (
               match List.find_opt (fun (e : P.entry) -> e.P.name = f.f_policy) cfg.policies with
-              | None -> (inst, f.f_detail)
-              | Some entry -> shrink ~max_evals:cfg.max_shrink entry f.f_prop inst f.f_detail)
+              | None -> (inst, f.f_detail, "")
+              | Some entry ->
+                  let shrunk, detail =
+                    shrink ~max_evals:cfg.max_shrink entry f.f_prop inst f.f_detail
+                  in
+                  (shrunk, detail, capture_forensics entry shrunk))
         in
-        { scenario; policy = f.f_policy; prop = f.f_prop; detail; shrunk })
+        { scenario; policy = f.f_policy; prop = f.f_prop; detail; shrunk; forensics })
       !raw_failures
   in
   { evaluated = !evaluated; coverage = SSet.cardinal !coverage; failures }

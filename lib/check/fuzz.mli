@@ -59,6 +59,13 @@ type failure = {
   prop : string;  (** ["oracle" | "permute" | "relabel" | "scale"]. *)
   detail : string;
   shrunk : Instance.t;  (** Smallest instance still failing [prop]. *)
+  forensics : string;
+      (** Flight-recorder dump of the shrunk repro: the failing policy is
+          replayed with a {!Sched_obs.Recorder} attached and the last
+          recorded decisions are kept as [rejsched.trace/2] NDJSON (the
+          replay surviving an exception mid-run still leaves its events
+          in the ring).  [""] when nothing could be replayed, e.g. for
+          scenario-generation failures. *)
 }
 
 type report = {

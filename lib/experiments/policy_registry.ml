@@ -11,7 +11,11 @@ type entry = {
   run : Instance.t -> Schedule.t;
   run_live : Instance.t -> Schedule.t * Driver.live_metrics;
   run_impl :
-    impl:Driver.impl -> check:bool -> Instance.t -> Schedule.t * Driver.live_metrics;
+    ?recorder:Sched_obs.Recorder.t ->
+    impl:Driver.impl ->
+    check:bool ->
+    Instance.t ->
+    Schedule.t * Driver.live_metrics;
   reference : (Instance.t -> Schedule.t) option;
   budget : Sched_check.Oracle.budget option;
 }
@@ -26,8 +30,8 @@ let pack ?reference ?budget ?(allow_restarts = false) make_policy name =
         let s, _, live = Driver.run_live (make_policy ()) instance in
         (s, live));
     run_impl =
-      (fun ~impl ~check instance ->
-        let s, _, live = Driver.run_live ~check ~impl (make_policy ()) instance in
+      (fun ?recorder ~impl ~check instance ->
+        let s, _, live = Driver.run_live ?recorder ~check ~impl (make_policy ()) instance in
         (s, live));
     reference =
       Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;

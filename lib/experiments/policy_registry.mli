@@ -18,10 +18,15 @@ type entry = {
   run_live : Instance.t -> Schedule.t * Driver.live_metrics;
       (** [run] also returning the driver's incremental metrics. *)
   run_impl :
-    impl:Driver.impl -> check:bool -> Instance.t -> Schedule.t * Driver.live_metrics;
-      (** [run_live] with the driver core pinned explicitly and the oracle
-          audit togglable — the hook the flat-vs-boxed differential suite
-          drives every entry through. *)
+    ?recorder:Sched_obs.Recorder.t ->
+    impl:Driver.impl ->
+    check:bool ->
+    Instance.t ->
+    Schedule.t * Driver.live_metrics;
+      (** [run_live] with the driver core pinned explicitly, the oracle
+          audit togglable and an optional flight recorder attached — the
+          hook the flat-vs-boxed differential suite drives every entry
+          through, and the replay path forensics capture rides on. *)
   reference : (Instance.t -> Schedule.t) option;
       (** The {!Sched_baselines.Seed_reference} mirror: same decisions via
           linear scans; must produce the identical schedule. *)

@@ -78,6 +78,9 @@ let json_labels labels =
          labels)
   ^ "}"
 
+(* [Ndjson.float_repr] tokens are spliced raw below; non-finite values
+   arrive as the quoted strings "NaN"/"Infinity"/"-Infinity", so the
+   document stays valid JSON and the three values stay distinguishable. *)
 let json registry =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "{\n  \"schema\": \"%s\",\n  \"metrics\": [\n" json_schema;

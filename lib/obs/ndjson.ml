@@ -1,7 +1,9 @@
 (* JSON primitives shared by the exporters, plus the NDJSON record
    builder.  Output is deterministic: fields are emitted in the order
    given, floats use the shortest round-tripping representation, and
-   non-finite floats (invalid in JSON) become null. *)
+   non-finite floats — which bare JSON cannot carry — become the quoted
+   string tokens "NaN" / "Infinity" / "-Infinity", preserving which
+   non-finite value it was (null would collapse all three). *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -19,7 +21,9 @@ let escape s =
   Buffer.contents buf
 
 let float_repr v =
-  if not (Float.is_finite v) then "null"
+  if Float.is_nan v then "\"NaN\""
+  else if v = Float.infinity then "\"Infinity\""
+  else if v = Float.neg_infinity then "\"-Infinity\""
   else if Float.is_integer v && Float.abs v <= 1e15 then Printf.sprintf "%.0f" v
   else begin
     let s = Printf.sprintf "%.12g" v in

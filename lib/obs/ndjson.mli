@@ -9,7 +9,10 @@ type value =
   | Null
   | Bool of bool
   | Int of int
-  | Float of float  (** Non-finite floats are emitted as [null]. *)
+  | Float of float
+      (** Non-finite floats are emitted as the quoted string tokens
+          ["NaN"] / ["Infinity"] / ["-Infinity"] — valid JSON that
+          still distinguishes the three values. *)
   | String of string
 
 val obj : (string * value) list -> string
@@ -24,6 +27,9 @@ val escape : string -> string
 
 val float_repr : float -> string
 (** Shortest round-tripping decimal; integral values print without a
-    fraction; non-finite values print as [null]. *)
+    fraction.  Non-finite values print as the JSON string tokens
+    ["\"NaN\""], ["\"Infinity\""] and ["\"-Infinity\""] — the returned
+    token includes the quotes, so splicing it raw into a JSON document
+    (as {!Export.json} does) stays valid JSON. *)
 
 val value_to_string : value -> string

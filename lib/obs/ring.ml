@@ -1,0 +1,86 @@
+(* A fixed-capacity flight-recorder ring: int and float columns over one
+   circular slot index, stored row-major — one int array of
+   [capacity * int_cols] and one float array of [capacity * float_cols],
+   an entry's cells contiguous at [slot * cols].  Column arrays per se
+   would be simpler, but every append then touches one cache line per
+   column; the interleaved rows keep a whole entry inside one or two
+   lines, which is most of an attached recorder's steady-state cost.
+
+   Everything is preallocated in [create]; the write path ([append] +
+   the column setters) touches only existing arrays and one mutable int,
+   so the flat core can call it from its [@rejlint.hot] loop and
+   RJL103's static proof goes through unchanged.
+
+   Writers own the slot protocol: [append] claims the next slot
+   (overwriting the oldest once full) and the caller then stores one
+   value per column.  Readers index entries oldest-first; [first_seq]
+   recovers the absolute sequence number of the oldest retained entry so
+   exports can say how much history fell off the end. *)
+
+type t = {
+  cap : int;
+  cap_mask : int;
+      (* [cap - 1] when [cap] is a power of two, else [-1]: lets [append]
+         replace the integer division of [mod] — tens of cycles, paid per
+         event — with a single [land] in the common case. *)
+  int_cols : int;
+  float_cols : int;
+  ints : int array;  (* Row-major: [slot * int_cols + col]. *)
+  floats : float array;  (* Row-major: [slot * float_cols + col]. *)
+  mutable total : int;  (* Entries ever appended, monotone. *)
+}
+
+let create ~int_cols ~float_cols ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  if int_cols < 0 || float_cols < 0 then invalid_arg "Ring.create: negative column count";
+  {
+    cap = capacity;
+    cap_mask = (if capacity land (capacity - 1) = 0 then capacity - 1 else -1);
+    int_cols;
+    float_cols;
+    ints = Array.make (max 1 (capacity * int_cols)) 0;
+    floats = Array.make (max 1 (capacity * float_cols)) 0.;
+    total = 0;
+  }
+
+let capacity t = t.cap
+let total t = t.total
+let length t = if t.total < t.cap then t.total else t.cap
+let first_seq t = t.total - length t
+let int_cols t = t.int_cols
+let float_cols t = t.float_cols
+let clear t = t.total <- 0
+
+let[@rejlint.hot] append t =
+  let slot =
+    if t.cap_mask >= 0 then t.total land t.cap_mask else t.total mod t.cap
+  in
+  t.total <- t.total + 1;
+  slot
+[@@inline]
+
+let[@rejlint.hot] set_int t ~col ~slot v = t.ints.((slot * t.int_cols) + col) <- v [@@inline]
+
+let[@rejlint.hot] set_float t ~col ~slot v = t.floats.((slot * t.float_cols) + col) <- v
+[@@inline]
+
+(* Row escape hatch: hand the caller the backing arrays so its hot loop
+   can store into a claimed row directly.  On the non-flambda compiler a
+   float crossing a function boundary is boxed (one minor allocation);
+   a store into a hoisted backing array is not, which is what keeps an
+   attached recorder inside the driver's words-per-event ceilings.
+   Cells of slot [s] live at [s * int_cols + col] and
+   [s * float_cols + col]; slots must still be claimed through
+   [append]. *)
+let ints t = t.ints
+let floats t = t.floats
+
+(* Readers: [k] indexes retained entries oldest-first, [0 .. length-1]. *)
+
+let slot_of t k =
+  if k < 0 || k >= length t then
+    invalid_arg (Printf.sprintf "Ring: entry index %d out of range (length %d)" k (length t));
+  (first_seq t + k) mod t.cap
+
+let get_int t ~col k = t.ints.((slot_of t k * t.int_cols) + col)
+let get_float t ~col k = t.floats.((slot_of t k * t.float_cols) + col)

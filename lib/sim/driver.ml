@@ -1,4 +1,5 @@
 open Sched_model
+module Rec = Sched_obs.Recorder
 
 type running = { job : Job.t; started : Time.t; rate : float; finish : Time.t }
 
@@ -174,6 +175,7 @@ type state = {
   builder : Schedule.builder;
   trace : Trace.t option;
   instr : instr option;
+  recorder : Sched_obs.Recorder.t option;
   acc : accum;
   total_weight : float;
   mutable saw_restart : bool;
@@ -358,6 +360,32 @@ let tag_arrival seq = (1 lsl 40) + seq
 
 let record st ev = match st.trace with None -> () | Some tr -> Trace.record tr st.clock ev
 
+(* Decision provenance for the flight recorder: the candidate machine
+   set behind each dispatch, as a count and an eligibility bitmask (bit
+   [i] for machine [i] up to 61; machines beyond that saturate into bit
+   62).  One int-only O(m) scan per query, with no per-run table setup.
+   The boxed core scans here; the flat core uses [Flat_state.cand_mask]/
+   [cand_count], which live next to the size column so the recursive
+   probes are direct array reads (calls inside recursive bodies are
+   never inlined, so a cross-module float accessor would box). *)
+let[@rejlint.hot] rec cand_mask_boxed (j : Job.t) m k acc =
+  if k >= m then acc
+  else
+    cand_mask_boxed j m (k + 1)
+      (if Job.eligible j k then acc lor (1 lsl (if k <= 61 then k else 62)) else acc)
+
+let[@rejlint.hot] rec cand_count_boxed (j : Job.t) m k acc =
+  if k >= m then acc
+  else cand_count_boxed j m (k + 1) (if Job.eligible j k then acc + 1 else acc)
+
+(* Kernighan popcount: when [m <= 62] no mask bit is shared, so the
+   candidate count is the mask's popcount and the second eligibility
+   scan (eight more float loads per dispatch in the bench fleet) is
+   skipped; the saturated bit-62 case falls back to the full scan. *)
+let[@rejlint.hot] rec popcount x acc =
+  if x = 0 then acc else popcount (x land (x - 1)) (acc + 1)
+
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry.  When a [Sched_obs.Obs.t] handle is supplied, the driver
    mirrors every trace-worthy event into counters and per-machine gauges
@@ -448,6 +476,14 @@ let reject_job st id =
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running = false });
       account_rejection st j t ~was_running:false;
+      (match st.recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_reject rc ~job:id ~machine:i ~was_running:false
+              ~rejected:st.acc.a_rejected in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- Job.size j i;
+          rc.Rec.floats.(s + Rec.o_budget) <- st.acc.a_rej_weight);
       i
   | Running i ->
       let ms = st.machines.(i) in
@@ -471,6 +507,14 @@ let reject_job st id =
       Schedule.set_outcome st.builder id
         (Outcome.Rejected { time = t; assigned_to = Some i; was_running });
       account_rejection st r.job t ~was_running;
+      (match st.recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_reject rc ~job:id ~machine:i ~was_running
+              ~rejected:st.acc.a_rejected in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- remaining;
+          rc.Rec.floats.(s + Rec.o_budget) <- st.acc.a_rej_weight);
       i
   | Unreleased -> invalid_arg (Printf.sprintf "Driver: rejecting unreleased job %d" id)
   | Settled -> invalid_arg (Printf.sprintf "Driver: rejecting settled job %d" id)
@@ -492,6 +536,12 @@ let restart_job st id =
       let wasted = Float.max 0. ((t -. r.started) *. r.rate) in
       st.saw_restart <- true;
       record st (Trace.Restart { job = id; machine = i; wasted });
+      (match st.recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_restart rc ~job:id ~machine:i in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- wasted);
       (match st.instr with
       | None -> ()
       | Some ins ->
@@ -533,6 +583,13 @@ let try_start st vw queue seq policy pstate i =
             ms.m_running <- Some { job = j; started = st.clock; rate; finish };
             st.loc.(job) <- Running i;
             record st (Trace.Start { job; machine = i; speed = rate });
+            (match st.recorder with
+            | None -> ()
+            | Some rc ->
+                let s = Rec.reserve_start rc ~job ~machine:i in
+                rc.Rec.floats.(s + Rec.o_time) <- st.clock;
+                rc.Rec.floats.(s + Rec.o_value) <- rate;
+                rc.Rec.floats.(s + Rec.o_score) <- size);
             (match st.instr with
             | None -> ()
             | Some ins ->
@@ -545,7 +602,7 @@ let try_start st vw queue seq policy pstate i =
 (* Post-run oracle audit for [?check].  The oracle re-derives every
    invariant from scratch (independent of [Schedule.validate] and of the
    incremental accumulators), so a pass here really is a second opinion. *)
-let audit ?obs ~name ~saw_restart lm schedule =
+let audit ?obs ?recorder ~name ~saw_restart lm schedule =
   let snap =
     {
       Sched_check.Oracle.flow = lm.flow;
@@ -559,9 +616,21 @@ let audit ?obs ~name ~saw_restart lm schedule =
   (match obs with
   | Some o -> Sched_check.Check_obs.record (Sched_obs.Obs.registry o) vs
   | None -> ());
-  Sched_check.Oracle.assert_clean ~what:name vs
+  (* With a flight recorder attached, a violation carries its forensics:
+     the last recorded decisions, as trace/2 NDJSON, appended to the
+     oracle's message. *)
+  match recorder with
+  | None -> Sched_check.Oracle.assert_clean ~what:name vs
+  | Some rc -> (
+      try Sched_check.Oracle.assert_clean ~what:name vs
+      with Sched_check.Oracle.Violations (what, vs) ->
+        raise
+          (Sched_check.Oracle.Violations
+             ( what ^ "\n-- flight recorder tail --\n"
+               ^ Trace_export.recorder_to_ndjson ~last:32 rc,
+               vs )))
 
-let run_boxed ?trace ?obs ?(check = false) policy instance =
+let run_boxed ?trace ?obs ?recorder ?(check = false) policy instance =
   let m = Instance.m instance in
   let st =
     {
@@ -573,6 +642,7 @@ let run_boxed ?trace ?obs ?(check = false) policy instance =
       builder = Schedule.builder instance;
       trace;
       instr = (match obs with None -> None | Some o -> Some (make_instr o m));
+      recorder;
       acc =
         {
           a_completed = 0;
@@ -626,6 +696,12 @@ let run_boxed ?trace ?obs ?(check = false) policy instance =
                 account_completion st r.job r.finish;
                 st.loc.(id) <- Settled;
                 record st (Trace.Complete { job = id; machine = i });
+                (match st.recorder with
+                | None -> ()
+                | Some rc ->
+                    let s = Rec.reserve_complete rc ~job:id ~machine:i in
+                    rc.Rec.floats.(s + Rec.o_time) <- st.clock;
+                    rc.Rec.floats.(s + Rec.o_value) <- r.finish -. r.job.Job.release);
                 (match st.instr with
                 | None -> ()
                 | Some ins ->
@@ -648,6 +724,23 @@ let run_boxed ?trace ?obs ?(check = false) policy instance =
               invalid_arg
                 (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
                    policy.name j.id i);
+            (match st.recorder with
+            | None -> ()
+            | Some rc ->
+                let work = st.machines.(i).m_pend.p_work in
+                let rem =
+                  match st.machines.(i).m_running with
+                  | None -> 0.
+                  | Some ru ->
+                      let r = (ru.finish -. st.clock) *. ru.rate in
+                      if r > 0. then r else 0.
+                in
+                let mask = cand_mask_boxed j m 0 0 in
+                let cands = if m <= 62 then popcount mask 0 else cand_count_boxed j m 0 0 in
+                let s = Rec.reserve_dispatch rc ~job:j.id ~machine:i ~cands ~mask in
+                rc.Rec.floats.(s + Rec.o_time) <- st.clock;
+                rc.Rec.floats.(s + Rec.o_value) <- work;
+                rc.Rec.floats.(s + Rec.o_score) <- work +. rem);
             pend_add st.machines.(i).m_pend i j;
             st.loc.(j.id) <- Pending i;
             record st (Trace.Dispatch { job = j.id; machine = i });
@@ -674,7 +767,8 @@ let run_boxed ?trace ?obs ?(check = false) policy instance =
           (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i))
     st.machines;
   let schedule = Schedule.finalize st.builder in
-  if check then audit ?obs ~name:policy.name ~saw_restart:st.saw_restart (live vw) schedule;
+  if check then
+    audit ?obs ?recorder ~name:policy.name ~saw_restart:st.saw_restart (live vw) schedule;
   (schedule, pstate, vw)
 
 (* ------------------------------------------------------------------ *)
@@ -687,7 +781,7 @@ let run_boxed ?trace ?obs ?(check = false) policy instance =
 let c_flat_minor_words_name = "sched_flat_loop_minor_words_total"
 let c_flat_events_name = "sched_flat_loop_events_total"
 
-let run_flat ?trace ?obs ?(check = false) policy instance =
+let run_flat ?trace ?obs ?recorder ?(check = false) policy instance =
   let m = Instance.m instance in
   let fs = Flat_state.of_instance instance in
   let vw = V_flat fs in
@@ -732,6 +826,14 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
       Flat_state.outcome_rejected fs ~job:id ~machine:i ~time:t ~was_running:false;
       Flat_state.account_rejection fs id t ~was_running:false;
+      (match recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_reject rc ~job:id ~machine:i ~was_running:false
+              ~rejected:(Flat_state.rejected fs) in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- Flat_state.size fs ~machine:i ~job:id;
+          rc.Rec.floats.(s + Rec.o_budget) <- Flat_state.rej_weight fs);
       i
     end
     else if Flat_state.loc_is_running l then begin
@@ -759,6 +861,14 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           Sched_obs.Metric.Gauge.dec ins.g_inflight.(i));
       Flat_state.outcome_rejected fs ~job:id ~machine:i ~time:t ~was_running;
       Flat_state.account_rejection fs id t ~was_running;
+      (match recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_reject rc ~job:id ~machine:i ~was_running
+              ~rejected:(Flat_state.rejected fs) in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- remaining;
+          rc.Rec.floats.(s + Rec.o_budget) <- Flat_state.rej_weight fs);
       i
     end
     else if l = Flat_state.loc_unreleased then
@@ -780,6 +890,12 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
       | None -> ()
       | Some tr ->
           (Trace.record tr t (Trace.Restart { job = id; machine = i; wasted }) [@rejlint.cold]));
+      (match recorder with
+      | None -> ()
+      | Some rc ->
+          let s = Rec.reserve_restart rc ~job:id ~machine:i in
+          rc.Rec.floats.(s + Rec.o_time) <- t;
+          rc.Rec.floats.(s + Rec.o_value) <- wasted);
       (match instr with
       | None -> ()
       | Some ins ->
@@ -827,6 +943,13 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           | Some tr ->
               (Trace.record tr clock (Trace.Start { job; machine = i; speed = rate })
               [@rejlint.cold]));
+          (match recorder with
+          | None -> ()
+          | Some rc ->
+              let s = Rec.reserve_start rc ~job ~machine:i in
+              rc.Rec.floats.(s + Rec.o_time) <- clock;
+              rc.Rec.floats.(s + Rec.o_value) <- rate;
+              rc.Rec.floats.(s + Rec.o_score) <- size);
           (match instr with
           | None -> ()
           | Some ins ->
@@ -864,6 +987,26 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           (invalid_arg
              (Printf.sprintf "Driver: policy %s dispatched job %d to ineligible machine %d"
                 policy.name id i) [@rejlint.cold]);
+        (match recorder with
+        | None -> ()
+        | Some rc ->
+            let mask = Flat_state.cand_mask fs ~job:id in
+            let cands = if m <= 62 then popcount mask 0 else Flat_state.cand_count fs ~job:id in
+            let s = Rec.reserve_dispatch rc ~job:id ~machine:i ~cands ~mask in
+            let work = Flat_state.pend_work fs i in
+            let rem =
+              if Flat_state.run_job fs i < 0 then 0.
+              else begin
+                let r =
+                  (Flat_state.run_finish fs i -. Flat_state.clock fs)
+                  *. Flat_state.run_rate fs i
+                in
+                if r > 0. then r else 0.
+              end
+            in
+            rc.Rec.floats.(s + Rec.o_time) <- Flat_state.clock fs;
+            rc.Rec.floats.(s + Rec.o_value) <- work;
+            rc.Rec.floats.(s + Rec.o_score) <- work +. rem);
         Flat_state.pend_add fs i id;
         Flat_state.set_loc fs id (Flat_state.loc_pending ~machine:i);
         (match trace with
@@ -913,6 +1056,12 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
           | Some tr ->
               (Trace.record tr (Flat_state.clock fs) (Trace.Complete { job = id; machine = i })
               [@rejlint.cold]));
+          (match recorder with
+          | None -> ()
+          | Some rc ->
+              let s = Rec.reserve_complete rc ~job:id ~machine:i in
+              rc.Rec.floats.(s + Rec.o_time) <- Flat_state.clock fs;
+              rc.Rec.floats.(s + Rec.o_value) <- fin -. Flat_state.release fs id);
           (match instr with
           | None -> ()
           | Some ins ->
@@ -953,26 +1102,27 @@ let run_flat ?trace ?obs ?(check = false) policy instance =
   done;
   let schedule = Flat_state.to_schedule fs in
   if check then
-    audit ?obs ~name:policy.name ~saw_restart:(Flat_state.saw_restart fs) (live vw) schedule;
+    audit ?obs ?recorder ~name:policy.name ~saw_restart:(Flat_state.saw_restart fs) (live vw)
+      schedule;
   (schedule, pstate, vw)
 
-let run_view ?trace ?obs ?check ?impl policy instance =
+let run_view ?trace ?obs ?recorder ?check ?impl policy instance =
   (* The impl selector is benchmark plumbing, not policy state: both
      impls produce byte-identical schedules (enforced by the
      differential gates), so which one runs is unobservable to any
      policy decision. *)
   (* rejlint: allow policy-purity *)
   match (match impl with Some i -> i | None -> !default_impl_ref) with
-  | Boxed -> run_boxed ?trace ?obs ?check policy instance
-  | Flat -> run_flat ?trace ?obs ?check policy instance
+  | Boxed -> run_boxed ?trace ?obs ?recorder ?check policy instance
+  | Flat -> run_flat ?trace ?obs ?recorder ?check policy instance
 
-let run ?trace ?obs ?check ?impl policy instance =
-  let schedule, pstate, _ = run_view ?trace ?obs ?check ?impl policy instance in
+let run ?trace ?obs ?recorder ?check ?impl policy instance =
+  let schedule, pstate, _ = run_view ?trace ?obs ?recorder ?check ?impl policy instance in
   (schedule, pstate)
 
-let run_live ?trace ?obs ?check ?impl policy instance =
-  let schedule, pstate, vw = run_view ?trace ?obs ?check ?impl policy instance in
+let run_live ?trace ?obs ?recorder ?check ?impl policy instance =
+  let schedule, pstate, vw = run_view ?trace ?obs ?recorder ?check ?impl policy instance in
   (schedule, pstate, live vw)
 
-let run_schedule ?trace ?obs ?check ?impl policy instance =
-  fst (run ?trace ?obs ?check ?impl policy instance)
+let run_schedule ?trace ?obs ?recorder ?check ?impl policy instance =
+  fst (run ?trace ?obs ?recorder ?check ?impl policy instance)

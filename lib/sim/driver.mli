@@ -184,7 +184,20 @@ type 'a policy = {
     Telemetry is strictly observational: the schedule, policy state and
     trace are byte-identical with and without [?obs] (pinned by the
     differential tests), and the default {!Sched_obs.Sink.null} sink never
-    reads a clock. *)
+    reads a clock.
+
+    {b Flight recorder.}  Passing [?recorder] (a {!Sched_obs.Recorder.t})
+    makes the driver write one ring entry per dispatch / start / complete
+    / reject / restart event, carrying decision provenance the counters
+    lose: the candidate machine set and queue score behind each dispatch,
+    and the theorem-budget counters (rejections and rejected weight so
+    far) at each rejection.  Both cores record at the same sites with the
+    same float-operation order, so recorder contents — like schedules —
+    are byte-identical across cores and with the recorder on or off
+    (differential-gated).  The write path is allocation-free and
+    [\@rejlint.hot]-proven, so attaching a recorder keeps the flat core's
+    words-per-event ceilings.  Export with {!Trace_export} (NDJSON,
+    [rejsched.trace/2]) or {!Perfetto} (Chrome [trace_event] JSON). *)
 
 (** {b Oracle auditing.}  Passing [?check:true] runs the independent
     {!Sched_check.Oracle} over the finished schedule before it is returned:
@@ -194,13 +207,16 @@ type 'a policy = {
     incremental {!live_metrics} against a from-scratch
     {!Sched_model.Metrics} recomputation at 1e-9 relative tolerance.  A
     violation raises {!Sched_check.Oracle.Violations}; with [?obs] the
-    verdict is also recorded as [sched_check_*] counters.  Auditing never
+    verdict is also recorded as [sched_check_*] counters; with
+    [?recorder] the violation message carries the recorder's last
+    entries as [rejsched.trace/2] NDJSON forensics.  Auditing never
     influences the run — the schedule is byte-identical with and without
     it. *)
 
 val run :
   ?trace:Trace.t ->
   ?obs:Sched_obs.Obs.t ->
+  ?recorder:Sched_obs.Recorder.t ->
   ?check:bool ->
   ?impl:impl ->
   'a policy ->
@@ -223,6 +239,7 @@ val run :
 val run_live :
   ?trace:Trace.t ->
   ?obs:Sched_obs.Obs.t ->
+  ?recorder:Sched_obs.Recorder.t ->
   ?check:bool ->
   ?impl:impl ->
   'a policy ->
@@ -233,6 +250,7 @@ val run_live :
 val run_schedule :
   ?trace:Trace.t ->
   ?obs:Sched_obs.Obs.t ->
+  ?recorder:Sched_obs.Recorder.t ->
   ?check:bool ->
   ?impl:impl ->
   'a policy ->

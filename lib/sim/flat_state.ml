@@ -245,6 +245,32 @@ let[@rejlint.hot] weight t id = t.weight.(id)
 let[@rejlint.hot] min_size t id = t.min_size.(id)
 let[@rejlint.hot] size t ~machine ~job = t.size_col.((machine * t.n) + job)
 let[@rejlint.hot] eligible t ~machine ~job = Float.is_finite (size t ~machine ~job)
+
+(* Candidate-set provenance for the flight recorder: how many machines a
+   job is eligible for, and their bitmask (bit [k] for machine [k] up to
+   61; higher machines saturate into bit 62).  Accumulator recursion over
+   the size column, kept in this module on purpose: the compiler does
+   not inline calls inside recursive bodies, so a cross-module accessor
+   would box its float result on every probe, while the direct array
+   read here stays allocation-free.  [p -. p = 0.] is [Float.is_finite]
+   unfolded for the same reason. *)
+let[@rejlint.hot] rec cand_mask_from t job k acc =
+  if k >= t.m then acc
+  else begin
+    let p = t.size_col.((k * t.n) + job) in
+    cand_mask_from t job (k + 1)
+      (if p -. p = 0. then acc lor (1 lsl (if k <= 61 then k else 62)) else acc)
+  end
+
+let[@rejlint.hot] rec cand_count_from t job k acc =
+  if k >= t.m then acc
+  else begin
+    let p = t.size_col.((k * t.n) + job) in
+    cand_count_from t job (k + 1) (if p -. p = 0. then acc + 1 else acc)
+  end
+
+let[@rejlint.hot] cand_mask t ~job = cand_mask_from t job 0 0 [@@inline]
+let[@rejlint.hot] cand_count t ~job = cand_count_from t job 0 0 [@@inline]
 let[@rejlint.hot] density t ~machine ~job = t.dens_col.((machine * t.n) + job)
 let[@rejlint.hot] total_weight t = t.total_weight
 let[@rejlint.hot] alpha t i = (Instance.machine t.instance i).Machine.alpha

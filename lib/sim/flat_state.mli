@@ -69,6 +69,15 @@ val weight : t -> int -> float
 val min_size : t -> int -> float
 val size : t -> machine:int -> job:int -> float
 val eligible : t -> machine:int -> job:int -> bool
+
+val cand_mask : t -> job:int -> int
+(** Eligibility bitmask over machines — bit [k] for machine [k] up to
+    61, machines beyond that saturate into bit 62.  Flight-recorder
+    dispatch provenance; allocation-free. *)
+
+val cand_count : t -> job:int -> int
+(** Number of machines the job is eligible for.  Allocation-free. *)
+
 val density : t -> machine:int -> job:int -> float
 val total_weight : t -> float
 val alpha : t -> int -> float

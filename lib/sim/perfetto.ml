@@ -1,0 +1,297 @@
+(* Chrome trace_event JSON from a flight recorder, so any run opens in
+   Perfetto (ui.perfetto.dev) or chrome://tracing as a per-machine
+   timeline: one thread row per machine, an "X" (complete) slice per
+   executed span, and instant markers at every rejection and restart.
+
+   Timestamps: trace_event wants microseconds; one simulation time unit
+   maps to one millisecond (x1000), which keeps typical instances in a
+   readable zoom range.  Pure string production — callers own the I/O. *)
+
+module J = Sched_obs.Ndjson
+module R = Sched_obs.Recorder
+
+let us t = t *. 1000.
+let pid = 1
+let tid_of_machine i = i + 1
+
+(* One trace_event object; [args] (possibly empty) is spliced as a
+   nested object, which the flat [J.obj] builder cannot express. *)
+let event fields args =
+  let base = J.obj fields in
+  if args = [] then base
+  else String.sub base 0 (String.length base - 1) ^ ",\"args\":" ^ J.obj args ^ "}"
+
+let slice ~name ~cat ~machine ~start ~stop args =
+  event
+    [
+      ("name", J.String name);
+      ("cat", J.String cat);
+      ("ph", J.String "X");
+      ("ts", J.Float (us start));
+      ("dur", J.Float (us (stop -. start)));
+      ("pid", J.Int pid);
+      ("tid", J.Int (tid_of_machine machine));
+    ]
+    args
+
+let instant ~name ~cat ~machine ~time args =
+  event
+    [
+      ("name", J.String name);
+      ("cat", J.String cat);
+      ("ph", J.String "i");
+      ("s", J.String "t");
+      ("ts", J.Float (us time));
+      ("pid", J.Int pid);
+      ("tid", J.Int (tid_of_machine machine));
+    ]
+    args
+
+let metadata ~name ~tid args =
+  match tid with
+  | None -> event [ ("name", J.String name); ("ph", J.String "M"); ("pid", J.Int pid) ] args
+  | Some tid ->
+      event
+        [ ("name", J.String name); ("ph", J.String "M"); ("pid", J.Int pid); ("tid", J.Int tid) ]
+        args
+
+let to_chrome ~machines recorder =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  emit (metadata ~name:"process_name" ~tid:None [ ("name", J.String "rejsched") ]);
+  for i = 0 to machines - 1 do
+    emit
+      (metadata ~name:"thread_name"
+         ~tid:(Some (tid_of_machine i))
+         [ ("name", J.String (Printf.sprintf "machine %d" i)) ])
+  done;
+  (* Pair each start with the next complete/reject/restart on its
+     machine.  A start whose terminator fell off the ring (or vice
+     versa) yields no slice — the markers still show. *)
+  let open_start = Array.make (if machines > 0 then machines else 1) None in
+  List.iter
+    (fun (en : R.entry) ->
+      let i = en.machine in
+      match en.kind with
+      | R.Dispatch -> ()
+      | R.Start -> if i >= 0 && i < machines then open_start.(i) <- Some en
+      | R.Complete | R.Reject | R.Restart ->
+          if i >= 0 && i < machines then begin
+            (match open_start.(i) with
+            | Some (st : R.entry) when st.job = en.job && en.time >= st.time ->
+                emit
+                  (slice
+                     ~name:(Printf.sprintf "job %d" en.job)
+                     ~cat:"run" ~machine:i ~start:st.time ~stop:en.time
+                     [ ("job", J.Int en.job); ("speed", J.Float st.value) ])
+            | _ -> ());
+            open_start.(i) <- None;
+            match en.kind with
+            | R.Reject ->
+                emit
+                  (instant
+                     ~name:(Printf.sprintf "reject job %d" en.job)
+                     ~cat:"reject" ~machine:i ~time:en.time
+                     [
+                       ("job", J.Int en.job);
+                       ("was_running", J.Bool (en.flag <> 0));
+                       ("remaining", J.Float en.value);
+                       ("rejected_total", J.Int en.aux);
+                       ("rejected_weight", J.Float en.budget);
+                     ])
+            | R.Restart ->
+                emit
+                  (instant
+                     ~name:(Printf.sprintf "restart job %d" en.job)
+                     ~cat:"restart" ~machine:i ~time:en.time
+                     [ ("job", J.Int en.job); ("wasted", J.Float en.value) ])
+            | _ -> ()
+          end)
+    (R.entries recorder);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun k e ->
+      if k > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf e)
+    (List.rev !events);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+(* --- shape validation -------------------------------------------------- *)
+
+(* A minimal JSON reader, just enough to check the trace_event shape we
+   emit (and that CI smoke-runs gate on) without external dependencies. *)
+
+type json =
+  | Jobj of (string * json) list
+  | Jarr of json list
+  | Jstr of string
+  | Jnum of float
+  | Jbool of bool
+  | Jnull
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'u' ->
+              (* Keep the escape verbatim; only shape matters here. *)
+              Buffer.add_string buf "\\u";
+              advance ()
+          | c ->
+              Buffer.add_char buf c;
+              advance ());
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let literal word v =
+    let len = String.length word in
+    if !pos + len <= n && String.sub s !pos len = word then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "malformed literal"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Jobj (fields [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Jarr (items [])
+        end
+    | '"' -> Jstr (string_body ())
+    | 't' -> Jbool (literal "true" true)
+    | 'f' -> Jbool (literal "false" false)
+    | 'n' -> literal "null" Jnull
+    | _ -> Jnum (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function Jobj kvs -> List.assoc_opt name kvs | _ -> None
+
+let check_event k e =
+  let where what = Error (Printf.sprintf "traceEvents[%d]: %s" k what) in
+  match e with
+  | Jobj _ -> (
+      match field "ph" e with
+      | Some (Jstr ph) -> (
+          let has_str name = match field name e with Some (Jstr _) -> true | _ -> false in
+          let has_num name = match field name e with Some (Jnum _) -> true | _ -> false in
+          if not (has_str "name") then where "missing string \"name\""
+          else if not (has_num "pid") then where "missing numeric \"pid\""
+          else
+            match ph with
+            | "M" -> Ok ()
+            | "X" ->
+                if not (has_num "ts") then where "\"X\" event missing numeric \"ts\""
+                else if not (has_num "dur") then where "\"X\" event missing numeric \"dur\""
+                else if not (has_num "tid") then where "\"X\" event missing numeric \"tid\""
+                else Ok ()
+            | "i" ->
+                if not (has_num "ts") then where "\"i\" event missing numeric \"ts\""
+                else if not (has_num "tid") then where "\"i\" event missing numeric \"tid\""
+                else Ok ()
+            | ph -> where (Printf.sprintf "unexpected ph %S" ph))
+      | _ -> where "missing string \"ph\"")
+  | _ -> where "not an object"
+
+let validate text =
+  match parse text with
+  | exception Bad msg -> Error ("invalid JSON: " ^ msg)
+  | j -> (
+      match field "traceEvents" j with
+      | Some (Jarr events) ->
+          let rec go k = function
+            | [] -> Ok ()
+            | e :: rest -> ( match check_event k e with Ok () -> go (k + 1) rest | e -> e)
+          in
+          go 0 events
+      | Some _ -> Error "\"traceEvents\" is not an array"
+      | None -> Error "top-level object has no \"traceEvents\"")

@@ -44,3 +44,66 @@ let to_ndjson t =
       Buffer.add_string buf l;
       Buffer.add_char buf '\n');
   Buffer.contents buf
+
+(* --- rejsched.trace/2: flight-recorder entries with provenance -------- *)
+
+let schema_v2 = "rejsched.trace/2"
+
+module R = Sched_obs.Recorder
+
+(* /2 lines keep every /1 field name (time/event/job/machine and the
+   per-kind payloads) and add the provenance columns: a "seq" absolute
+   event number on every line, candidate set + scores on dispatch,
+   size on start, flow on complete, budget counters on reject. *)
+let recorder_entry_line (en : R.entry) =
+  let tail =
+    match en.kind with
+    | R.Dispatch ->
+        [
+          ("cands", J.Int en.flag);
+          ("mask", J.Int en.aux);
+          ("pending_work", J.Float en.value);
+          ("score", J.Float en.score);
+        ]
+    | R.Start -> [ ("speed", J.Float en.value); ("size", J.Float en.score) ]
+    | R.Complete -> [ ("flow", J.Float en.value) ]
+    | R.Reject ->
+        [
+          ("was_running", J.Bool (en.flag <> 0));
+          ("remaining", J.Float en.value);
+          ("rejected_total", J.Int en.aux);
+          ("rejected_weight", J.Float en.budget);
+        ]
+    | R.Restart -> [ ("wasted", J.Float en.value) ]
+  in
+  J.line ~schema:schema_v2
+    (("seq", J.Int en.seq)
+    :: ("time", J.Float en.time)
+    :: ("event", J.String (R.kind_to_string en.kind))
+    :: ("job", J.Int en.job)
+    :: ("machine", J.Int en.machine)
+    :: tail)
+
+let recorder_lines ?last rec_ = List.map recorder_entry_line (R.entries ?last rec_)
+
+let recorder_to_ndjson ?last rec_ =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (recorder_lines ?last rec_);
+  Buffer.contents buf
+
+(* The inverse of the tagging convention in [J.line]: every line the two
+   exporters emit starts with {"schema":"..."}, and consumers dispatch on
+   that tag before parsing the rest.  [None] when the line is not a
+   schema-tagged record. *)
+let schema_of_line line =
+  let prefix = "{\"schema\":\"" in
+  let plen = String.length prefix in
+  if String.length line < plen || String.sub line 0 plen <> prefix then None
+  else
+    match String.index_from_opt line plen '"' with
+    | None -> None
+    | Some stop -> Some (String.sub line plen (stop - plen))

@@ -18,3 +18,31 @@ val iter_lines : Trace.t -> (string -> unit) -> unit
 
 val to_ndjson : Trace.t -> string
 (** The whole trace, one line per event, each newline-terminated. *)
+
+(** {1 Flight-recorder export ([rejsched.trace/2])}
+
+    {!Sched_obs.Recorder} entries render under a bumped schema tag: /2
+    lines keep every /1 field name and add the provenance columns — a
+    ["seq"] absolute event number on every line, the candidate set
+    (["cands"]/["mask"]), ["pending_work"] and ["score"] on dispatch,
+    ["size"] on start, ["flow"] on complete, the budget counters
+    (["rejected_total"]/["rejected_weight"]) on reject. *)
+
+val schema_v2 : string
+(** ["rejsched.trace/2"], the flight-recorder record schema. *)
+
+val recorder_entry_line : Sched_obs.Recorder.entry -> string
+(** One recorder entry as a single JSON object (no trailing newline). *)
+
+val recorder_lines : ?last:int -> Sched_obs.Recorder.t -> string list
+(** Retained entries oldest-first, one line each; [?last] keeps only the
+    newest [n] (the forensics tail). *)
+
+val recorder_to_ndjson : ?last:int -> Sched_obs.Recorder.t -> string
+(** {!recorder_lines} joined, each line newline-terminated. *)
+
+val schema_of_line : string -> string option
+(** Reads the schema tag back off an emitted line — the round-trip for
+    the tagging convention: every line this module produces yields
+    [Some schema] / [Some schema_v2].  [None] if the line does not start
+    with a schema field. *)

@@ -108,6 +108,75 @@ let test_trace_ndjson_matches_in_process () =
   let _, trace = in_process ~n:80 ~m:2 ~seed:7 ~eps:0.25 in
   Alcotest.(check string) "byte-identical trace" (Sched_sim.Trace_export.to_ndjson trace) cli
 
+(* The trace subcommand end-to-end: replay a corpus case under the flight
+   recorder, and the exported NDJSON must match an in-process replay
+   byte-for-byte while the Chrome document passes the Perfetto shape
+   check. *)
+let test_trace_subcommand_case () =
+  let case_path = Filename.concat "fuzz_corpus" "restricted-flow-reject.case" in
+  let ndjson = temp ".ndjson" and chrome = temp ".json" in
+  let code =
+    shell
+      (Printf.sprintf "%s trace --case %s --out-ndjson %s --out-chrome %s 2> /dev/null" exe
+         case_path ndjson chrome)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let cli_ndjson = read_file ndjson and cli_chrome = read_file chrome in
+  Sys.remove ndjson;
+  Sys.remove chrome;
+  (match Sched_sim.Perfetto.validate cli_chrome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "CLI chrome export fails validation: %s" msg);
+  let case =
+    match Sched_fuzz.Corpus.parse (read_file case_path) with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "corpus case unreadable: %s" e
+  in
+  let entry =
+    match Sched_experiments.Policy_registry.find case.Sched_fuzz.Corpus.policy with
+    | Some e -> e
+    | None -> Alcotest.fail "case policy not registered"
+  in
+  let recorder = Sched_obs.Recorder.create () in
+  ignore
+    (entry.Sched_experiments.Policy_registry.run_impl ~recorder
+       ~impl:(Sched_sim.Driver.default_impl ()) ~check:false case.Sched_fuzz.Corpus.instance);
+  Alcotest.(check string) "byte-identical ndjson"
+    (Sched_sim.Trace_export.recorder_to_ndjson recorder)
+    cli_ndjson;
+  Alcotest.(check string) "byte-identical chrome"
+    (Sched_sim.Perfetto.to_chrome
+       ~machines:(Instance.m case.Sched_fuzz.Corpus.instance)
+       recorder)
+    cli_chrome
+
+(* Both exports accept '-': everything lands on stdout through the shared
+   sink helper, schema-tagged and shape-valid. *)
+let test_trace_subcommand_stdout () =
+  let out = temp ".txt" in
+  let code =
+    shell
+      (Printf.sprintf
+         "%s trace -p greedy-spt -n 20 -m 2 --seed 5 --last 8 --out-ndjson - --out-chrome - > %s 2> /dev/null"
+         exe out)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let text = read_file out in
+  Sys.remove out;
+  Alcotest.(check bool) "trace/2 lines on stdout" true
+    (Test_util.contains text "\"schema\":\"rejsched.trace/2\"");
+  Alcotest.(check bool) "chrome document on stdout" true
+    (Test_util.contains text "\"traceEvents\"")
+
+let test_trace_ring_cap_rejected () =
+  let err = temp ".txt" in
+  let code =
+    shell (Printf.sprintf "%s trace -n 10 -m 2 --ring-cap 0 > /dev/null 2> %s" exe err) in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) "message on stderr" true
+    (Test_util.contains (read_file err) "--ring-cap");
+  Sys.remove err
+
 let test_experiment_domains_identical () =
   (* e1 replicates over seeds on the ambient pool, so --domains actually
      changes the execution width — output must not change with it. *)
@@ -140,4 +209,7 @@ let suite =
     Alcotest.test_case "telemetry counters reconcile" `Quick test_telemetry_reconciles_with_metrics;
     Alcotest.test_case "telemetry to stdout" `Quick test_telemetry_stdout;
     Alcotest.test_case "trace ndjson matches in-process" `Quick test_trace_ndjson_matches_in_process;
+    Alcotest.test_case "trace subcommand replays a corpus case" `Quick test_trace_subcommand_case;
+    Alcotest.test_case "trace subcommand to stdout" `Quick test_trace_subcommand_stdout;
+    Alcotest.test_case "trace --ring-cap 0 rejected" `Quick test_trace_ring_cap_rejected;
   ]

@@ -34,11 +34,11 @@ let make_instance ~seed ~n ~m =
   in
   Instance.create ~machines:(Machine.fleet m) ~jobs ()
 
-let run_and_measure ~n ~m policy =
+let run_and_measure ?recorder ~n ~m policy =
   let instance = make_instance ~seed:7 ~n ~m in
   let registry = Registry.create () in
   let obs = Obs.create ~registry () in
-  ignore (Driver.run_schedule ~obs ~impl:Driver.Flat policy instance);
+  ignore (Driver.run_schedule ?recorder ~obs ~impl:Driver.Flat policy instance);
   let words =
     Metric.Counter.value (Registry.counter registry "sched_flat_loop_minor_words_total")
   in
@@ -47,10 +47,10 @@ let run_and_measure ~n ~m policy =
   in
   (words, events)
 
-let check_gate ~what ~gate policy =
+let check_gate ?recorder ~what ~gate policy =
   (* Warm-up run pays one-time lazy initialization. *)
   ignore (run_and_measure ~n:500 ~m:4 policy);
-  let words, events = run_and_measure ~n:4000 ~m:4 policy in
+  let words, events = run_and_measure ?recorder ~n:4000 ~m:4 policy in
   (* At least one arrival per job; rejected-before-start jobs push no
      finish event. *)
   Alcotest.(check bool) "events counted" true (events >= 4000.);
@@ -71,6 +71,27 @@ let test_steady_state_allocs_reject () =
   let module FR = Rejection.Flow_reject in
   check_gate ~what:"flow-reject" ~gate:100. (FR.policy (FR.config ~eps:0.3 ()))
 
+(* The same ceilings must hold with a flight recorder attached: its write
+   path is allocation-free by construction (int-only [reserve_*] calls
+   plus direct stores into the hoisted float backing array).  Under the
+   dev profile's [-opaque] the [Flat_state] float accessors feeding the
+   recorder's payload are not inlined, so each boxes its return — a few
+   words/event of build-mode (not code-path) cost; the release-profile
+   bench pins the true zero.  greedy-spt absorbs it inside its existing
+   gate; flow-reject's provenance payload reads more accessors (measured
+   ~102 dev vs ~70 bare), so its recorder gate sits a notch higher. *)
+let test_steady_state_allocs_recorded () =
+  let recorder = Sched_obs.Recorder.create ~capacity:4096 () in
+  check_gate ~recorder ~what:"greedy-spt+recorder" ~gate:80.
+    Sched_baselines.Greedy_dispatch.spt;
+  Alcotest.(check bool) "events recorded" true (Sched_obs.Recorder.total recorder > 0)
+
+let test_steady_state_allocs_reject_recorded () =
+  let module FR = Rejection.Flow_reject in
+  let recorder = Sched_obs.Recorder.create ~capacity:4096 () in
+  check_gate ~recorder ~what:"flow-reject+recorder" ~gate:110.
+    (FR.policy (FR.config ~eps:0.3 ()))
+
 (* Counters are absent unless the flat core actually ran: the boxed core
    must not register them, so a dashboard can tell the cores apart. *)
 let test_counters_flat_only () =
@@ -88,5 +109,9 @@ let suite =
   [
     Alcotest.test_case "steady-state minor words/event under gate" `Quick test_steady_state_allocs;
     Alcotest.test_case "rejection path under gate" `Quick test_steady_state_allocs_reject;
+    Alcotest.test_case "recorder attached stays under gate" `Quick
+      test_steady_state_allocs_recorded;
+    Alcotest.test_case "recorder attached, rejection path" `Quick
+      test_steady_state_allocs_reject_recorded;
     Alcotest.test_case "flat counters only on flat runs" `Quick test_counters_flat_only;
   ]

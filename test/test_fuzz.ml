@@ -73,6 +73,14 @@ let test_shrinker () =
       Alcotest.(check int) "shrunk machine count"
         (if f.Fuzz.prop = "relabel" then 2 else 1)
         (Instance.m f.Fuzz.shrunk);
+      (* Every failure ships flight-recorder forensics of the shrunk
+         repro: the last decisions as schema-tagged trace/2 NDJSON. *)
+      Alcotest.(check bool)
+        ("forensics captured: " ^ f.Fuzz.prop)
+        true
+        (Test_util.contains f.Fuzz.forensics "\"schema\":\"rejsched.trace/2\"");
+      Alcotest.(check bool) "forensics carry the dispatch provenance" true
+        (Test_util.contains f.Fuzz.forensics "\"event\":\"dispatch\"");
       (* The shrunk repro must still fail the property it was shrunk for. *)
       match Fuzz.property_fails (impossible_entry ()) f.Fuzz.prop f.Fuzz.shrunk with
       | Some _ -> ()

@@ -176,7 +176,8 @@ let test_hot_annotations_guarded () =
   List.iter
     (fun name ->
       Alcotest.(check bool) ("driver hot: " ^ name) true (List.mem name driver_hot))
-    [ "loop"; "try_start"; "reject_job"; "restart_job" ];
+    [ "loop"; "try_start"; "reject_job"; "restart_job"; "cand_mask_boxed"; "cand_count_boxed";
+      "popcount" ];
   let flat_hot =
     RL.Typed_lint.hot_functions_of_cmt
       (cmt "lib/sim/.sched_sim.objs/byte/sched_sim__Flat_state.cmt")
@@ -185,8 +186,30 @@ let test_hot_annotations_guarded () =
     (fun name ->
       Alcotest.(check bool) ("flat_state hot: " ^ name) true (List.mem name flat_hot))
     [ "clock"; "set_clock"; "pend_add"; "pend_remove"; "next_event"; "lay_segment";
-      "account_completion"; "account_rejection"; "outcome_completed"; "outcome_rejected" ];
-  Alcotest.(check bool) "flat_state hot coverage >= 25" true (List.length flat_hot >= 25)
+      "account_completion"; "account_rejection"; "outcome_completed"; "outcome_rejected";
+      (* The flight recorder's dispatch-provenance scans: same-module reads
+         so the release build boxes nothing. *)
+      "cand_mask"; "cand_count"; "cand_mask_from"; "cand_count_from" ];
+  Alcotest.(check bool) "flat_state hot coverage >= 25" true (List.length flat_hot >= 25);
+  (* The recorder's whole write path must stay inside the static proof:
+     un-annotating any of these drops RJL103 coverage exactly where an
+     allocation would silently re-inflate the words-per-event floor. *)
+  let ring_hot =
+    RL.Typed_lint.hot_functions_of_cmt
+      (cmt "lib/obs/.sched_obs.objs/byte/sched_obs__Ring.cmt")
+  in
+  List.iter
+    (fun name -> Alcotest.(check bool) ("ring hot: " ^ name) true (List.mem name ring_hot))
+    [ "append"; "set_int"; "set_float" ];
+  let recorder_hot =
+    RL.Typed_lint.hot_functions_of_cmt
+      (cmt "lib/obs/.sched_obs.objs/byte/sched_obs__Recorder.cmt")
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("recorder hot: " ^ name) true (List.mem name recorder_hot))
+    [ "reserve"; "reserve_dispatch"; "reserve_start"; "reserve_complete"; "reserve_reject";
+      "reserve_restart" ]
 
 let suite =
   [

@@ -217,12 +217,29 @@ let test_ndjson_primitives () =
   Alcotest.(check string) "escape" "a\\\"b\\\\c\\n\\u0001" (J.escape "a\"b\\c\n\001");
   Alcotest.(check string) "float" "1.5" (J.float_repr 1.5);
   Alcotest.(check string) "integral" "3" (J.float_repr 3.);
-  Alcotest.(check string) "nan" "null" (J.float_repr Float.nan);
+  Alcotest.(check string) "nan" "\"NaN\"" (J.float_repr Float.nan);
+  Alcotest.(check string) "inf" "\"Infinity\"" (J.float_repr Float.infinity);
+  Alcotest.(check string) "neg-inf" "\"-Infinity\"" (J.float_repr Float.neg_infinity);
   Alcotest.(check string) "tenth" "0.1" (J.float_repr 0.1);
   Alcotest.(check string) "line"
     "{\"schema\":\"s/1\",\"a\":1,\"b\":\"x\\\"y\",\"c\":null,\"d\":true}"
     (J.line ~schema:"s/1"
        [ ("a", J.Int 1); ("b", J.String "x\"y"); ("c", J.Null); ("d", J.Bool true) ])
+
+(* A non-finite gauge (e.g. a max-stretch that divided by zero) must not
+   corrupt the JSON snapshot: the value renders as a quoted sentinel
+   token, keeping the document parseable and the three non-finite values
+   distinguishable. *)
+let test_json_non_finite_gauge () =
+  let reg = Registry.create () in
+  Metric.Gauge.set (Registry.gauge reg "stretch_max") Float.infinity;
+  Metric.Gauge.set (Registry.gauge reg "undefined_ratio") Float.nan;
+  let json = O.Export.json reg in
+  Alcotest.(check bool) "infinity token" true
+    (Test_util.contains json "\"value\": \"Infinity\"");
+  Alcotest.(check bool) "nan token" true (Test_util.contains json "\"value\": \"NaN\"");
+  Alcotest.(check bool) "no bare nan" false (Test_util.contains json ": nan");
+  Alcotest.(check bool) "no bare inf" false (Test_util.contains json ": inf")
 
 let test_trace_ndjson_golden () =
   let t = Sched_sim.Trace.create () in
@@ -496,6 +513,8 @@ let suite =
     Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
     Alcotest.test_case "json golden" `Quick test_json_golden;
     Alcotest.test_case "ndjson primitives" `Quick test_ndjson_primitives;
+    Alcotest.test_case "json snapshot carries non-finite gauges" `Quick
+      test_json_non_finite_gauge;
     Alcotest.test_case "trace ndjson golden" `Quick test_trace_ndjson_golden;
     Alcotest.test_case "pending profile semantics" `Quick test_pending_profile;
     Alcotest.test_case "profiles drain on live runs" `Quick test_profiles_from_live_run;
