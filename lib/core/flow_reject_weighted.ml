@@ -65,9 +65,10 @@ let init cfg instance =
     rej2 = 0;
   }
 
-let on_arrival st view (j : Job.t) =
+(* The sequential tail of [on_arrival] given the argmin machine; shared
+   with the sharded resolve below. *)
+let commit st view (j : Job.t) ~target =
   let eps = st.cfg.eps in
-  let target = argmin_machine st.instance j (fun i -> lambda_ij eps view i j) in
   st.c.(target) <- st.c.(target) +. j.weight;
   let rejections = ref [] in
   (match Driver.running_on view target with
@@ -88,6 +89,19 @@ let on_arrival st view (j : Job.t) =
     end
   end;
   { Driver.dispatch_to = target; reject = List.rev !rejections; restart = [] }
+
+let on_arrival st view (j : Job.t) =
+  let target = argmin_machine st.instance j (fun i -> lambda_ij st.cfg.eps view i j) in
+  commit st view j ~target
+
+(* Two-phase split for the sharded driver: the weighted lambda is pure
+   reads of the primary pending order; the resolve ignores the score
+   (no dual instrumentation here) and replays the tail. *)
+let hooks =
+  {
+    Driver.shard_cost = (fun st view i j -> lambda_ij st.cfg.eps view i j);
+    shard_resolve = (fun st view j ~target ~score:_ -> commit st view j ~target);
+  }
 
 let select st view i =
   match Driver.pending_densest view i with

@@ -16,11 +16,18 @@ type entry = {
     check:bool ->
     Instance.t ->
     Schedule.t * Driver.live_metrics;
+  run_sharded :
+    ?recorder:Sched_obs.Recorder.t ->
+    ?pool:Sched_stats.Pool.t ->
+    check:bool ->
+    shards:int ->
+    Instance.t ->
+    Schedule.t * Driver.live_metrics;
   reference : (Instance.t -> Schedule.t) option;
   budget : Sched_check.Oracle.budget option;
 }
 
-let pack ?reference ?budget ?(allow_restarts = false) make_policy name =
+let pack ?reference ?budget ?(allow_restarts = false) ?hooks make_policy name =
   {
     name;
     allow_restarts;
@@ -32,6 +39,12 @@ let pack ?reference ?budget ?(allow_restarts = false) make_policy name =
     run_impl =
       (fun ?recorder ~impl ~check instance ->
         let s, _, live = Driver.run_live ?recorder ~check ~impl (make_policy ()) instance in
+        (s, live));
+    run_sharded =
+      (fun ?recorder ?pool ~check ~shards instance ->
+        let s, _, live =
+          Driver.run_sharded ?recorder ~check ?hooks ?pool ~shards (make_policy ()) instance
+        in
         (s, live));
     reference =
       Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;
@@ -50,34 +63,34 @@ let all =
       (fun () -> FR.policy (FR.config ~eps ()))
       ~reference:(fun () -> B.Seed_reference.flow_reject (FR.config ~eps ()))
       ~budget:(Sched_check.Oracle.Count_fraction (2. *. eps))
-      "flow-reject";
+      ~hooks:FR.hooks "flow-reject";
     pack
       (fun () ->
         FR.policy (FR.config ~dispatch:FR.Greedy_load ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_reject (FR.config ~dispatch:FR.Greedy_load ~eps ()))
       ~budget:(Sched_check.Oracle.Count_fraction (2. *. eps))
-      "flow-reject-greedy";
+      ~hooks:FR.hooks "flow-reject-greedy";
     pack
       (fun () -> FRW.policy (FRW.config ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_reject_weighted (FRW.config ~eps ()))
       ~budget:(Sched_check.Oracle.Weight_fraction (2. *. eps))
-      "flow-reject-weighted";
+      ~hooks:FRW.hooks "flow-reject-weighted";
     pack
       (fun () -> FER.policy (FER.config ~eps ()))
       ~reference:(fun () ->
         B.Seed_reference.flow_energy_reject (FER.config ~eps ()))
       ~budget:(Sched_check.Oracle.Weight_fraction eps)
-      "flow-energy-reject";
+      ~hooks:FER.hooks "flow-energy-reject";
     pack
       (fun () -> B.Greedy_dispatch.fifo)
       ~reference:(fun () -> B.Seed_reference.greedy_fifo)
-      ~budget:no_rejection "greedy-fifo";
+      ~budget:no_rejection ~hooks:B.Greedy_dispatch.hooks "greedy-fifo";
     pack
       (fun () -> B.Greedy_dispatch.spt)
       ~reference:(fun () -> B.Seed_reference.greedy_spt)
-      ~budget:no_rejection "greedy-spt";
+      ~budget:no_rejection ~hooks:B.Greedy_dispatch.hooks "greedy-spt";
     pack
       (fun () -> B.Immediate_reject.policy ~eps B.Immediate_reject.Never)
       ~reference:(fun () ->

@@ -85,6 +85,12 @@ let all =
       reproduces = "Extension (conclusion: other relaxations)";
       run = E14_restarts.run;
     };
+    {
+      id = "e15";
+      title = "Cluster-scale sharded simulation";
+      reproduces = "Methodology (sharded driver S-unobservability at scale)";
+      run = E15_cluster_scale.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

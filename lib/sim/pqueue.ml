@@ -222,6 +222,27 @@ module Events = struct
   let tag t = t.cur_tag
   let payload t = t.cur_pay
 
+  (* Non-destructive root reads, for the sharded driver's merge-pop: it
+     scans every shard heap's head before popping exactly one.  Both are
+     meaningless on an empty queue (the caller checks [is_empty]) and
+     allocation-free — [peek_key] returns a float already stored unboxed
+     in the key array. *)
+  let peek_key t = t.ekey.(0)
+  let peek_tag t = t.etag.(0)
+
+  let ensure_capacity t n =
+    let cap = Array.length t.ekey in
+    if n > cap then begin
+      let ncap = max 16 (max n (2 * cap)) in
+      let nkey = Array.make ncap 0. and ntag = Array.make ncap 0 and npay = Array.make ncap 0 in
+      Array.blit t.ekey 0 nkey 0 t.elen;
+      Array.blit t.etag 0 ntag 0 t.elen;
+      Array.blit t.epay 0 npay 0 t.elen;
+      t.ekey <- nkey;
+      t.etag <- ntag;
+      t.epay <- npay
+    end
+
   let clear t =
     t.ekey <- [||];
     t.etag <- [||];

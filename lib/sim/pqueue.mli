@@ -79,6 +79,20 @@ module Events : sig
 
   val tag : t -> int
   val payload : t -> int
+
+  val peek_key : t -> float
+  (** Key of the current minimum, without removing it.  Meaningless when
+      the queue is empty (check {!is_empty} first); allocation-free. *)
+
+  val peek_tag : t -> int
+  (** Tag of the current minimum, without removing it.  Same contract as
+      {!peek_key}. *)
+
+  val ensure_capacity : t -> int -> unit
+  (** Grows the backing arrays to hold at least [n] queued events, so a
+      caller that knows the arrival count up front pays one allocation
+      instead of a doubling cascade.  Never shrinks. *)
+
   val clear : t -> unit
 end
 

@@ -26,9 +26,10 @@ val default_domains : unit -> int
     caller (who participates in every region anyway). *)
 
 val create : ?domains:int -> unit -> t
-(** Spawns [domains - 1] worker domains (default {!default_domains};
-    clamped to >= 1).  [domains = 1] spawns none: every region runs
-    inline in the caller. *)
+(** Spawns [domains - 1] worker domains (default {!default_domains}).
+    [domains = 1] spawns none: every region runs inline in the caller.
+    Raises [Invalid_argument] when [domains < 1] — silent clamping hid
+    misconfigured widths from the CLI. *)
 
 val size : t -> int
 (** Total parallelism: spawned workers plus the submitting domain. *)
@@ -54,6 +55,14 @@ val parallel_for : ?chunk_size:int -> t -> int -> (int -> unit) -> unit
     exactly once.  [f] typically writes slot [i] of a preallocated
     array — distinct indices only, per the concurrency-safety rule. *)
 
+val run_shards : t -> shards:int -> (int -> unit) -> unit
+(** [run_shards pool ~shards f] runs [f 0 .. f (shards-1)], one task per
+    shard, and returns only when all have finished (a barrier).  Safe to
+    call from inside a pool task: the nested region shares the ambient
+    pool's domains (submitters help drain the queue), so shard regions
+    nest without deadlock or oversubscription.  Raises
+    [Invalid_argument] when [shards < 1]. *)
+
 (** {1 The process-wide default pool}
 
     [Sched_stats.Parallel] (and through it [Exp_util.per_seed]) submits
@@ -67,9 +76,16 @@ val default : unit -> t
     to {!set_default_domains} (or {!default_domains}). *)
 
 val set_default_domains : int -> unit
-(** Sets the default pool's size (clamped to >= 1); if the default pool
-    already exists at a different size it is shut down and recreated
-    lazily.  Call at startup, not between live regions. *)
+(** Sets the default pool's size; if the default pool already exists at
+    a different size it is shut down and recreated lazily.  Call at
+    startup, not between live regions.  Raises [Invalid_argument] when
+    the size is < 1. *)
 
 val ambient : unit -> t
 (** The pool executing the current task, or {!default} outside any. *)
+
+val ambient_opt : unit -> t option
+(** The pool executing the current task, or [None] outside any — never
+    touches (or creates) the process-wide default.  The lookup for code
+    that must stay free of global state, e.g. the sharded driver's
+    phase-1 fan-out. *)

@@ -1,10 +1,10 @@
 open Sched_experiments
 
 let test_registry_complete () =
-  Alcotest.(check int) "thirteen experiments" 13 (List.length Registry.all);
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Registry.all);
   let ids = List.map (fun e -> e.Registry.id) Registry.all in
   Alcotest.(check (list string)) "expected ids"
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e11"; "e12"; "e13"; "e14" ]
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e11"; "e12"; "e13"; "e14"; "e15" ]
     ids;
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq String.compare ids))

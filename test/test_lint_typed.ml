@@ -177,7 +177,10 @@ let test_hot_annotations_guarded () =
     (fun name ->
       Alcotest.(check bool) ("driver hot: " ^ name) true (List.mem name driver_hot))
     [ "loop"; "try_start"; "reject_job"; "restart_job"; "cand_mask_boxed"; "cand_count_boxed";
-      "popcount" ];
+      "popcount";
+      (* The sharded two-phase tick: commit handlers shared with run_flat
+         plus the merge-pop and per-shard proposal scan. *)
+      "commit_arrival"; "commit_finish"; "next_source"; "propose_shard" ];
   let flat_hot =
     RL.Typed_lint.hot_functions_of_cmt
       (cmt "lib/sim/.sched_sim.objs/byte/sched_sim__Flat_state.cmt")

@@ -1,0 +1,130 @@
+(* Shard differential layer: the sharded driver must be unobservable.
+   For every corpus case x registry policy, [run_sharded ~shards:S] at
+   S in {1, 2, 4} must produce the canonical schedule byte-identical to
+   the flat core, bit-identical live metrics, and a byte-identical
+   recorder NDJSON export — with the oracle auditing both sides.  This
+   is the proof obligation behind DESIGN section 13's commit-order
+   argument: phase 1 only proposes, phase 2 commits in the flat core's
+   exact event order, so the shard count S cannot leak into any
+   observable. *)
+
+open Sched_model
+open Sched_sim
+module P = Sched_experiments.Policy_registry
+module Corpus = Sched_fuzz.Corpus
+module Pool = Sched_stats.Pool
+module Rec = Sched_obs.Recorder
+module TE = Trace_export
+
+let shard_counts = [ 1; 2; 4 ]
+
+let check_f what a b =
+  if not (Float.equal a b) then
+    Alcotest.failf "%s: flat %.17g <> sharded %.17g" what a b
+
+let check_metrics ~what (lb : Driver.live_metrics) (lf : Driver.live_metrics) =
+  let open Metrics in
+  check_f (what ^ ": flow.total") lb.Driver.flow.total lf.Driver.flow.total;
+  check_f (what ^ ": flow.weighted") lb.Driver.flow.weighted lf.Driver.flow.weighted;
+  check_f
+    (what ^ ": flow.total_with_rejected")
+    lb.Driver.flow.total_with_rejected lf.Driver.flow.total_with_rejected;
+  check_f
+    (what ^ ": flow.weighted_with_rejected")
+    lb.Driver.flow.weighted_with_rejected lf.Driver.flow.weighted_with_rejected;
+  check_f (what ^ ": flow.max_flow") lb.Driver.flow.max_flow lf.Driver.flow.max_flow;
+  check_f (what ^ ": flow.mean_flow") lb.Driver.flow.mean_flow lf.Driver.flow.mean_flow;
+  check_f (what ^ ": flow.max_stretch") lb.Driver.flow.max_stretch lf.Driver.flow.max_stretch;
+  check_f (what ^ ": energy") lb.Driver.energy lf.Driver.energy;
+  check_f (what ^ ": makespan") lb.Driver.makespan lf.Driver.makespan;
+  Alcotest.(check int)
+    (what ^ ": rejection.count")
+    lb.Driver.rejection.count lf.Driver.rejection.count;
+  check_f (what ^ ": rejection.weight") lb.Driver.rejection.weight lf.Driver.rejection.weight;
+  Alcotest.(check int)
+    (what ^ ": rejection.mid_run")
+    lb.Driver.rejection.mid_run lf.Driver.rejection.mid_run
+
+(* One policy on one instance: the flat reference run (with recorder)
+   against the sharded run at every S, schedules + metrics + recorder
+   rings all identical.  [check] audits both sides except on
+   deadline-bearing instances, for the same reason the flat differential
+   suite skips those. *)
+let check_case ?pool ~what (e : P.entry) instance =
+  let check = not (Instance.has_deadlines instance) in
+  let rc_ref = Rec.create ~capacity:4096 () in
+  let s_ref, l_ref = e.P.run_impl ~recorder:rc_ref ~impl:Driver.Flat ~check instance in
+  let c_ref = Serialize.schedule_to_canonical_string s_ref in
+  let n_ref = TE.recorder_to_ndjson rc_ref in
+  List.iter
+    (fun shards ->
+      let what = Printf.sprintf "%s/S=%d" what shards in
+      let rc = Rec.create ~capacity:4096 () in
+      let s, l = e.P.run_sharded ~recorder:rc ?pool ~check ~shards instance in
+      let c = Serialize.schedule_to_canonical_string s in
+      if not (String.equal c_ref c) then
+        Alcotest.failf "%s: sharded schedule diverges from flat:\n--- flat ---\n%s\n--- sharded ---\n%s"
+          what c_ref c;
+      check_metrics ~what l_ref l;
+      let n = TE.recorder_to_ndjson rc in
+      if not (String.equal n_ref n) then
+        Alcotest.failf "%s: recorder contents diverge:\n--- flat ---\n%s--- sharded ---\n%s"
+          what n_ref n)
+    shard_counts
+
+(* Every corpus case under every registry policy — including the entries
+   without sharded hooks, whose phase 2 runs [on_arrival] sequentially
+   and must be equally unobservable. *)
+let test_corpus_all_policies () =
+  List.iter
+    (fun (c : Corpus.case) ->
+      List.iter
+        (fun (e : P.entry) ->
+          check_case ~what:(Printf.sprintf "%s/%s" c.Corpus.name e.P.name) e c.Corpus.instance)
+        P.all)
+    (Corpus.seeds ())
+
+(* Wider instances (m up to 12) so shard boundaries actually cut the
+   machine range at S = 2 and 4, exercising cross-shard argmin folding
+   rather than the single-shard degenerate case. *)
+let test_wide_random_instances () =
+  let entries = Array.of_list P.all in
+  for seed = 0 to 11 do
+    let weighted = seed mod 2 = 1 and restricted = seed mod 3 = 0 in
+    let instance =
+      Test_util.random_instance ~weighted ~restricted ~seed:(100 + seed) ~n:(40 + (9 * seed))
+        ~m:(5 + (seed mod 8)) ()
+    in
+    let e = entries.(seed mod Array.length entries) in
+    check_case ~what:(Printf.sprintf "wide/s%d/%s" seed e.P.name) e instance
+  done
+
+(* A multi-domain pool must not be observable either: the parallel
+   phase 1 is read-only and its proposals are folded in shard order. *)
+let test_multi_domain_pool () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let instance = Test_util.random_instance ~seed:77 ~n:120 ~m:9 () in
+      List.iter
+        (fun name ->
+          match P.find name with
+          | None -> Alcotest.failf "registry is missing %s" name
+          | Some e -> check_case ~pool ~what:("pooled/" ^ name) e instance)
+        [ "flow-reject"; "flow-reject-greedy"; "flow-energy-reject"; "greedy-spt" ])
+
+let test_invalid_shards () =
+  let instance = Test_util.random_instance ~seed:3 ~n:10 ~m:2 () in
+  let e = match P.find "flow-reject" with Some e -> e | None -> Alcotest.fail "registry" in
+  List.iter
+    (fun shards ->
+      match e.P.run_sharded ~check:false ~shards instance with
+      | _ -> Alcotest.failf "shards=%d accepted" shards
+      | exception Invalid_argument _ -> ())
+    [ 0; -1 ]
+
+let suite =
+  [
+    ("corpus x policies x S in {1,2,4}, byte-identical", `Slow, test_corpus_all_policies);
+    ("wide random instances, byte-identical", `Quick, test_wide_random_instances);
+    ("multi-domain pool unobservable", `Quick, test_multi_domain_pool);
+    ("shards < 1 rejected", `Quick, test_invalid_shards);
+  ]
