@@ -9,7 +9,7 @@
    computation, plus a simulator-throughput benchmark (E10).
 
    Part 3 (selected with --regression, output file via --out, default
-   BENCH_pr9.json) is the regression harness behind `make bench-check`:
+   BENCH_pr10.json) is the regression harness behind `make bench-check`:
    it times the indexed driver fast path against the scan-based seed
    references on an overloaded instance — once bare and once with the
    telemetry layer recording — times the flat (struct-of-arrays) core
@@ -24,13 +24,20 @@
    the sharded within-run driver (canonical-schedule byte-identity at
    S in {1,2,4} over the fuzz corpus x every registry policy, sharded
    vs sequential throughput on a cluster-shaped workload, and a
-   memory-gated cluster-scale point at n=10^6 x m=10^3), embeds the
+   memory-gated cluster-scale point at n=10^6 x m=10^3), exercises the
+   streaming session engine behind `rejsched serve` (stream-vs-batch
+   canonical-schedule byte-identity over the fuzz corpus, session
+   overhead versus the batch entry point, and a resident-memory gate on
+   an n=10^6 rolling-retirement stream against the identical
+   keep-everything stream), embeds the
    telemetry counter snapshot, records GC work (minor/major collections,
    minor words) next to every events/sec figure, writes the numbers to
    a JSON baseline, compares the throughput against the newest previous
    BENCH_*.json, and exits non-zero if either driver-event
    microbenchmark speedup (bare or telemetry-on) falls below 2x, if the
-   width-1 pool costs more than 2x sequential, or — on hosts with at
+   width-1 pool costs more than 2x sequential, if the retirement
+   stream's peak live words per job breach their ceiling or fail to
+   undercut the keep-everything stream, or — on hosts with at
    least 4 cores — if 4 domains fail to reach 2x over sequential or the
    sharded run at S=4 fails to reach 2x over S=1.
 
@@ -782,9 +789,202 @@ let run_regression out_path =
   | Ok _ -> ()
   | Error reason -> Printf.printf "  cluster-scale point skipped: %s\n%!" reason);
 
+  (* 3g: the streaming session engine behind `rejsched serve` — the
+     PR-10 tentpole.  Three parts.
+
+     (a) Byte-identity fail-fast: every fuzz-corpus case, streamed
+         through an incremental [Driver.Session] under its distilled
+         policy in arrival chunks of 1 and of 7, must close on exactly
+         the canonical schedule the one-shot batch run produces.  The
+         exhaustive differential (every registry policy, chunk sizes
+         {1, 7, n}, bit-equal live metrics, oracle audits, retire-mode
+         metric identity) lives in test_stream_differential.ml; the
+         bench repeats the schedule-identity core so a perf-motivated
+         edit cannot ship a stream/batch divergence past
+         `make bench-check` either.
+
+     (b) Session overhead: the same flow-uniform workload through the
+         batch entry point and through a chunked session.  The session
+         is run_flat's event loop behind a feed/drain surface, so the
+         gap is the price of the incremental surface itself (bounded
+         drains, horizon checks, fed-list upkeep) — recorded, not
+         gated.
+
+     (c) The rolling-retirement memory gate: a retire-mode session fed
+         n=10^6 synthetic arrivals on m=4 machines at ~0.6 utilization
+         (the pending set stays O(m), so any O(n) residue is retention,
+         not backlog), live heap sampled via [Gc.full_major] every n/10
+         feeds, against the identical stream with retirement off.
+         Retirement folds finished segments straight into the rolling
+         aggregates, drops the per-job handles and skips the fed list,
+         so peak live words per fed job must stay under an absolute
+         ceiling AND well under the keep-everything run's figure; both
+         streams must agree on every live metric bit. *)
+  let stream_feed (s : PR.stream_session) inst ~chunk =
+    let jobs = Sched_model.Instance.jobs_by_release inst in
+    let nj = Array.length jobs in
+    let k = ref 0 in
+    while !k < nj do
+      let stop = min nj (!k + chunk) in
+      for i = !k to stop - 1 do
+        s.PR.ss_feed jobs.(i)
+      done;
+      s.PR.ss_drain_until jobs.(stop - 1).Sched_model.Job.release;
+      k := stop
+    done;
+    s.PR.ss_close ()
+  in
+  let stream_cases = ref 0 in
+  List.iter
+    (fun (c : Sched_fuzz.Corpus.case) ->
+      match PR.find c.Sched_fuzz.Corpus.policy with
+      | None -> ()
+      | Some e ->
+          let s_inst = c.Sched_fuzz.Corpus.instance in
+          let reference =
+            Sched_model.Serialize.schedule_to_canonical_string
+              (fst (e.PR.run_impl ~impl:D.Flat ~check:false s_inst))
+          in
+          List.iter
+            (fun chunk ->
+              incr stream_cases;
+              let s =
+                e.PR.open_stream ~name:s_inst.Sched_model.Instance.name
+                  ~machines:s_inst.Sched_model.Instance.machines ()
+              in
+              match stream_feed s s_inst ~chunk with
+              | Some sch, _
+                when Sched_model.Serialize.schedule_to_canonical_string sch = reference ->
+                  ()
+              | Some _, _ ->
+                  Printf.eprintf
+                    "FAIL: streamed %s diverges from the batch run on %s at chunk=%d\n%!"
+                    e.PR.name c.Sched_fuzz.Corpus.name chunk;
+                  exit 1
+              | None, _ ->
+                  Printf.eprintf "FAIL: un-retired session returned no schedule on %s\n%!"
+                    c.Sched_fuzz.Corpus.name;
+                  exit 1)
+            [ 1; 7 ])
+    (Sched_fuzz.Corpus.seeds ());
+  Printf.printf
+    "  streaming byte-identity: %d corpus x chunk sessions identical to the batch run\n%!"
+    !stream_cases;
+  let so_n = if quick then 4_000 else 20_000 and so_m = 16 in
+  let so_inst =
+    Sched_workload.Gen.instance (Sched_workload.Suite.flow_uniform ~n:so_n ~m:so_m) ~seed:13
+  in
+  let fr_st = Option.get (PR.find "flow-reject") in
+  let so_sched, _ = fr_st.PR.run_impl ~impl:D.Flat ~check:false so_inst in
+  let so_events = count_events so_sched in
+  let c_so = Sched_model.Serialize.schedule_to_canonical_string so_sched in
+  let t_so_batch =
+    best_of reps (fun () -> ignore (fr_st.PR.run_impl ~impl:D.Flat ~check:false so_inst))
+  in
+  let stream_once () =
+    let s =
+      fr_st.PR.open_stream ~name:so_inst.Sched_model.Instance.name
+        ~machines:so_inst.Sched_model.Instance.machines ()
+    in
+    stream_feed s so_inst ~chunk:64
+  in
+  (match stream_once () with
+  | Some sch, _ when Sched_model.Serialize.schedule_to_canonical_string sch = c_so -> ()
+  | _ ->
+      Printf.eprintf "FAIL: streamed flow-uniform workload diverges from the batch run\n%!";
+      exit 1);
+  let t_so_stream = best_of reps (fun () -> ignore (stream_once ())) in
+  let gc_so = gc_of (fun () -> ignore (stream_once ())) in
+  let so_overhead = t_so_stream /. t_so_batch in
+  Printf.printf
+    "  session overhead (flow-reject, n=%d m=%d, chunk=64): batch %.0f ev/s, stream %.0f ev/s \
+     (%.3fx)\n\
+     %!"
+    so_n so_m
+    (float_of_int so_events /. t_so_batch)
+    (float_of_int so_events /. t_so_stream)
+    so_overhead;
+  let st_n = if quick then 100_000 else 1_000_000 in
+  let st_m = 4 in
+  let st_machines = Sched_model.Machine.fleet st_m in
+  (* Deterministic arrival stream, dyadic throughout: 4 arrivals per time
+     unit against 4 machines serving mean size 0.625, so the backlog is
+     a small constant and peak residency isolates what the engine keeps. *)
+  let st_job i =
+    let release = 0.25 *. float_of_int i in
+    let sizes = Array.init st_m (fun k -> 0.25 +. (0.25 *. float_of_int ((i + k) land 3))) in
+    Sched_model.Job.create ~id:i ~release ~sizes ()
+  in
+  let st_run ~retire =
+    Gc.compact ();
+    let base = (Gc.stat ()).Gc.live_words in
+    let s = fr_st.PR.open_stream ~retire ~name:"stream-mem" ~machines:st_machines () in
+    let peak = ref 0 in
+    let sample () =
+      Gc.full_major ();
+      let lw = (Gc.stat ()).Gc.live_words in
+      if lw > !peak then peak := lw
+    in
+    let sample_every = max 1 (st_n / 10) in
+    let t0 = wall () in
+    let i = ref 0 in
+    while !i < st_n do
+      let stop = min st_n (!i + 512) in
+      for k = !i to stop - 1 do
+        s.PR.ss_feed (st_job k)
+      done;
+      s.PR.ss_drain_until (0.25 *. float_of_int (stop - 1));
+      if stop / sample_every > !i / sample_every then sample ();
+      i := stop
+    done;
+    let sched, live = s.PR.ss_close () in
+    sample ();
+    let dt = wall () -. t0 in
+    (* Touch the materialized schedule after the sample so the closing
+       run's peak genuinely includes it. *)
+    let segs =
+      match sched with
+      | Some sc -> List.length sc.Sched_model.Schedule.segments
+      | None -> 0
+    in
+    (dt, max 0 (!peak - base), live, segs)
+  in
+  let t_st_ret, words_ret, live_ret, segs_ret = st_run ~retire:true in
+  let t_st_keep, words_keep, live_keep, segs_keep = st_run ~retire:false in
+  if segs_ret <> 0 then begin
+    Printf.eprintf "FAIL: retire-mode stream materialized %d segments\n%!" segs_ret;
+    exit 1
+  end;
+  if
+    not
+      (Float.equal live_ret.D.flow.Sched_model.Metrics.total_with_rejected
+         live_keep.D.flow.Sched_model.Metrics.total_with_rejected
+      && Float.equal live_ret.D.energy live_keep.D.energy
+      && Float.equal live_ret.D.makespan live_keep.D.makespan
+      && live_ret.D.rejection.Sched_model.Metrics.count
+         = live_keep.D.rejection.Sched_model.Metrics.count)
+  then begin
+    Printf.eprintf "FAIL: rolling retirement perturbed the live metrics\n%!";
+    exit 1
+  end;
+  let wpj_ret = float_of_int words_ret /. float_of_int st_n in
+  let wpj_keep = float_of_int words_keep /. float_of_int st_n in
+  let stream_mem_ratio = wpj_ret /. wpj_keep in
+  (* Both streams share the structural floor (flat columns and the
+     per-machine indexed heaps, all sized by job capacity), so the
+     ratio separates modestly; the absolute ceiling is the sharp
+     no-retention signal — retaining the fed list and job boxes alone
+     adds ~20 words/job. *)
+  let stream_wpj_ceiling = 48.0 and stream_ratio_gate = 0.75 in
+  Printf.printf
+    "  rolling retirement (flow-reject, n=%d m=%d): retire %.1f words/job in %.1f s, keep %.1f \
+     words/job (%d segments) in %.1f s, ratio %.2f\n\
+     %!"
+    st_n st_m wpj_ret t_st_ret wpj_keep segs_keep t_st_keep stream_mem_ratio;
+
   (* JSON baseline. *)
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"pr\": \"pr9\",\n";
+  Printf.bprintf buf "  \"pr\": \"pr10\",\n";
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
   Printf.bprintf buf "  \"driver_event_microbench\": {\n";
   Printf.bprintf buf "    \"policy\": \"greedy-spt\",\n";
@@ -929,6 +1129,42 @@ let run_regression out_path =
       bprintf_gc buf ~indent:"      " ~key:"gc" gc_big;
       Printf.bprintf buf "      \"ratio_vs_volume_lb\": %.4f,\n" ratio;
       Printf.bprintf buf "      \"rejected_pct\": %.2f\n    }\n" rej_pct);
+  Printf.bprintf buf "  },\n";
+  Printf.bprintf buf "  \"streaming\": {\n";
+  Printf.bprintf buf "    \"identity_runs\": %d,\n" !stream_cases;
+  Printf.bprintf buf "    \"chunk_sizes\": \"1,7\",\n";
+  Printf.bprintf buf "    \"byte_identical\": true,\n";
+  Printf.bprintf buf "    \"session_overhead\": {\n";
+  Printf.bprintf buf "      \"policy\": \"flow-reject\",\n";
+  Printf.bprintf buf "      \"n\": %d,\n      \"m\": %d,\n      \"chunk\": 64,\n" so_n so_m;
+  Printf.bprintf buf "      \"events\": %d,\n" so_events;
+  Printf.bprintf buf "      \"batch_seconds\": %.6f,\n" t_so_batch;
+  Printf.bprintf buf "      \"batch_events_per_sec\": %.1f,\n"
+    (float_of_int so_events /. t_so_batch);
+  Printf.bprintf buf "      \"stream_seconds\": %.6f,\n" t_so_stream;
+  Printf.bprintf buf "      \"stream_events_per_sec\": %.1f,\n"
+    (float_of_int so_events /. t_so_stream);
+  bprintf_gc buf ~indent:"      " ~key:"stream_gc" gc_so;
+  Printf.bprintf buf "      \"overhead_ratio\": %.4f\n    },\n" so_overhead;
+  Printf.bprintf buf "    \"rolling_retirement\": {\n";
+  Printf.bprintf buf "      \"policy\": \"flow-reject\",\n";
+  Printf.bprintf buf "      \"n\": %d,\n      \"m\": %d,\n" st_n st_m;
+  Printf.bprintf buf "      \"retire_seconds\": %.3f,\n" t_st_ret;
+  Printf.bprintf buf "      \"retire_jobs_per_sec\": %.1f,\n" (float_of_int st_n /. t_st_ret);
+  Printf.bprintf buf "      \"retire_peak_live_words\": %d,\n" words_ret;
+  Printf.bprintf buf "      \"retire_words_per_job\": %.2f,\n" wpj_ret;
+  Printf.bprintf buf "      \"keep_seconds\": %.3f,\n" t_st_keep;
+  Printf.bprintf buf "      \"keep_peak_live_words\": %d,\n" words_keep;
+  Printf.bprintf buf "      \"keep_words_per_job\": %.2f,\n" wpj_keep;
+  Printf.bprintf buf "      \"keep_segments_materialized\": %d,\n" segs_keep;
+  Printf.bprintf buf "      \"retire_vs_keep_ratio\": %.4f,\n" stream_mem_ratio;
+  Printf.bprintf buf "      \"words_per_job_ceiling\": %.1f,\n" stream_wpj_ceiling;
+  Printf.bprintf buf "      \"ratio_gate\": %.2f,\n" stream_ratio_gate;
+  Printf.bprintf buf
+    "      \"note\": \"peak live words (Gc.full_major samples every n/10 feeds) minus the \
+     pre-open baseline; the retire stream keeps the flat columns but no segments, job boxes or \
+     fed list\",\n";
+  Printf.bprintf buf "      \"metrics_bit_identical\": true\n    }\n";
   Printf.bprintf buf "  }\n}\n";
   let oc = open_out out_path in
   Buffer.output_buffer oc buf;
@@ -1063,7 +1299,32 @@ let run_regression out_path =
        %!"
       recommended
       (if recommended = 1 then "" else "s")
-      shard_speedup !shard_cases
+      shard_speedup !shard_cases;
+  (* Streaming gates.  Byte-identity and metric-identity were enforced
+     fail-fast above; here the resident-memory claim: the retire-mode
+     stream's peak live words per fed job must stay under an absolute
+     ceiling (no O(n)-per-job retention beyond the flat columns) and
+     well under the keep-everything stream's figure (retirement is
+     actually retiring something). *)
+  if wpj_ret > stream_wpj_ceiling then begin
+    Printf.eprintf
+      "FAIL: retire-mode stream peaks at %.1f live words/job, over the %.1f ceiling (n=%d)\n%!"
+      wpj_ret stream_wpj_ceiling st_n;
+    exit 1
+  end;
+  if stream_mem_ratio > stream_ratio_gate then begin
+    Printf.eprintf
+      "FAIL: retire-mode peak %.1f words/job is %.2fx the keep-everything %.1f words/job, over \
+       the %.2f gate\n\
+       %!"
+      wpj_ret stream_mem_ratio wpj_keep stream_ratio_gate;
+    exit 1
+  end;
+  Printf.printf
+    "  PASS: rolling retirement holds %.1f words/job <= %.1f ceiling and %.2fx <= %.2fx of the \
+     keep-everything stream (%d streaming identity runs byte-identical)\n\
+     %!"
+    wpj_ret stream_wpj_ceiling stream_mem_ratio stream_ratio_gate !stream_cases
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1082,7 +1343,7 @@ let () =
             List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) (List.tl argv)
           with
           | [ path ] -> path
-          | _ -> "BENCH_pr9.json")
+          | _ -> "BENCH_pr10.json")
     in
     run_regression out
   else begin

@@ -2,6 +2,7 @@
 
    Subcommands:
      run         run one policy on one synthetic workload, print metrics
+     serve       long-lived streaming scheduler: NDJSON arrivals in, decisions out
      experiment  regenerate one (or all) of the paper's experiment tables
      adversary   play a lower-bound game (Lemma 1 or Lemma 2)
      fuzz        coverage-guided oracle fuzzing of every registered policy
@@ -661,6 +662,230 @@ let trace_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+(* The streaming front end over Driver.Session: arrival records come in
+   as NDJSON lines, decision events go out as rejsched.trace/1 lines the
+   moment the batch that caused them is drained, and progress/summary
+   records go out under the rejsched.serve/1 schema.  The engine is the
+   same session the batch runner wraps, so the decisions are
+   byte-identical to what 'rejsched run' would have made on the same
+   jobs. *)
+
+let serve_schema = "rejsched.serve/1"
+
+(* One arrival per line:
+     {"job": 0, "release": 1.5, "sizes": [2.0, 3.0], "weight": 1.0, "deadline": 4.0}
+   weight and deadline are optional; a size may be the quoted token
+   "Infinity" (a forbidden machine), matching what the NDJSON writers
+   emit for non-finite floats. *)
+let job_of_line line =
+  let module N = Sched_obs.Ndjson in
+  match N.parse line with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok j -> (
+      let num name =
+        match N.member name j with Some (N.Jnum v) -> Some v | _ -> None
+      in
+      match (num "job", num "release", N.member "sizes" j) with
+      | Some id, Some release, Some (N.Jarr raw) -> (
+          let size = function
+            | N.Jnum v -> v
+            | N.Jstr "Infinity" -> infinity
+            | _ -> nan
+          in
+          let sizes = Array.of_list (List.map size raw) in
+          if Array.exists Float.is_nan sizes then Error "sizes must be numbers"
+          else
+            match
+              Job.create ~id:(int_of_float id) ~release ?weight:(num "weight")
+                ?deadline:(num "deadline") ~sizes ()
+            with
+            | job -> Ok job
+            | exception Invalid_argument msg -> Error msg)
+      | _ -> Error "need numeric \"job\", \"release\" and a \"sizes\" array")
+
+let serve_cmd =
+  let module PR = Sched_experiments.Policy_registry in
+  let policy_arg =
+    Arg.(value & opt string "flow-reject"
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:"Registry policy to serve under (see 'list').  Ignored with --restore: a \
+                   snapshot names the policy it was frozen under.")
+  in
+  let input_arg =
+    Arg.(value & opt string "-"
+         & info [ "input" ] ~docv:"FILE"
+             ~doc:"Read arrival NDJSON from FILE instead of stdin ('-').  Pipe 'tail -f' in \
+                   for a live feed.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Drain and emit decisions every N arrivals (default 1: react to each \
+                   arrival as it lands).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"At end of input, freeze the live session into a snapshot at FILE ('-' for \
+                   stdout) instead of closing it; a later 'serve --restore FILE' resumes \
+                   byte-identically.")
+  in
+  let restore_arg =
+    Arg.(value & opt (some string) None
+         & info [ "restore" ] ~docv:"FILE"
+             ~doc:"Resume from a snapshot written by --checkpoint.  Corrupt or truncated \
+                   snapshots are rejected (exit 2) before any state is touched.")
+  in
+  let retire_arg =
+    Arg.(value & flag
+         & info [ "retire" ]
+             ~doc:"Retire completed work into rolling aggregates instead of materializing the \
+                   full schedule: memory stays bounded by the in-flight population, and the \
+                   summary carries the same live metrics, but no schedule survives to audit.")
+  in
+  let action policy input batch checkpoint restore retire m =
+    if batch < 1 then invalid_arg (Printf.sprintf "--batch must be >= 1 (got %d)" batch);
+    if m < 1 then invalid_arg (Printf.sprintf "--machines must be >= 1 (got %d)" m);
+    let policy_name, session =
+      match restore with
+      | Some path -> (
+          let raw =
+            try Sched_sim.Snapshot.read_file path
+            with Sys_error msg ->
+              prerr_endline ("rejsched: " ^ msg);
+              exit 2
+          in
+          match Sched_sim.Snapshot.unwrap raw with
+          | Error e ->
+              prerr_endline
+                (Printf.sprintf "rejsched: cannot restore %s: %s" path
+                   (Sched_sim.Snapshot.error_to_string e));
+              exit 2
+          | Ok (pname, payload) -> (
+              match PR.find pname with
+              | None ->
+                  prerr_endline ("rejsched: snapshot names unknown policy: " ^ pname);
+                  exit 2
+              | Some entry -> (
+                  match entry.PR.restore_stream payload with
+                  | s -> (pname, s)
+                  | exception Invalid_argument msg ->
+                      prerr_endline ("rejsched: cannot restore " ^ path ^ ": " ^ msg);
+                      exit 2)))
+      | None -> (
+          match PR.find policy with
+          | None ->
+              prerr_endline ("rejsched: unknown registry policy: " ^ policy);
+              exit 2
+          | Some entry ->
+              let trace = Sched_sim.Trace.create () in
+              (policy, entry.PR.open_stream ~trace ~retire ~machines:(Machine.fleet m) ()))
+    in
+    (* With '--checkpoint -' the snapshot bytes own stdout; every NDJSON
+       line moves to stderr so the two streams never interleave. *)
+    let emit = if checkpoint = Some "-" then prerr_endline else print_endline in
+    let trace = session.PR.ss_trace () in
+    let cursor = ref (match trace with Some t -> Sched_sim.Trace.length t | None -> 0) in
+    let emit_decisions () =
+      match trace with
+      | None -> ()
+      | Some t ->
+          List.iter
+            (fun e -> emit (Sched_sim.Trace_export.entry_line e))
+            (Sched_sim.Trace.since t !cursor);
+          cursor := Sched_sim.Trace.length t
+    in
+    let module N = Sched_obs.Ndjson in
+    let progress drained =
+      emit
+        (N.line ~schema:serve_schema
+           [
+             ("type", N.String "progress");
+             ("fed", N.Int (session.PR.ss_fed ()));
+             ("drained", N.Float drained);
+             ("next_key", N.Float (session.PR.ss_next_key ()));
+           ])
+    in
+    let summary kind (live : Sched_sim.Driver.live_metrics) =
+      emit
+        (N.line ~schema:serve_schema
+           [
+             ("type", N.String kind);
+             ("policy", N.String policy_name);
+             ("fed", N.Int (session.PR.ss_fed ()));
+             ("flow_total", N.Float live.flow.Metrics.total);
+             ("flow_weighted", N.Float live.flow.Metrics.weighted);
+             ("flow_max", N.Float live.flow.Metrics.max_flow);
+             ("rejected", N.Int live.rejection.Metrics.count);
+             ("rejected_weight", N.Float live.rejection.Metrics.weight);
+             ("rejected_midrun", N.Int live.rejection.Metrics.mid_run);
+             ("energy", N.Float live.energy);
+             ("makespan", N.Float live.makespan);
+           ])
+    in
+    let ic = if input = "-" then stdin else open_in input in
+    let pending = ref 0 in
+    let last_release = ref neg_infinity in
+    let flush_batch () =
+      if !pending > 0 then begin
+        session.PR.ss_drain_until !last_release;
+        emit_decisions ();
+        progress !last_release;
+        pending := 0
+      end
+    in
+    let feed line =
+      match job_of_line line with
+      | Error msg ->
+          prerr_endline ("rejsched: bad arrival: " ^ msg);
+          exit 1
+      | Ok job -> (
+          match session.PR.ss_feed job with
+          | () ->
+              last_release := job.Job.release;
+              incr pending;
+              if !pending >= batch then flush_batch ()
+          | exception Invalid_argument msg ->
+              prerr_endline ("rejsched: bad arrival: " ^ msg);
+              exit 1)
+    in
+    let rec pump () =
+      match In_channel.input_line ic with
+      | None -> ()
+      | Some line ->
+          if String.trim line <> "" then feed line;
+          pump ()
+    in
+    Fun.protect ~finally:(fun () -> if input <> "-" then close_in_noerr ic) pump;
+    flush_batch ();
+    match checkpoint with
+    | Some target ->
+        (* Freeze, don't close: queued future events ride inside the
+           snapshot and a later --restore picks up mid-stream. *)
+        let payload = session.PR.ss_freeze () in
+        write_output target (Sched_sim.Snapshot.wrap ~policy:policy_name ~payload);
+        summary "suspended" (session.PR.ss_live ())
+    | None ->
+        let _schedule, live = session.PR.ss_close () in
+        emit_decisions ();
+        summary "closed" live
+  in
+  let term =
+    Term.(
+      const action $ policy_arg $ input_arg $ batch_arg $ checkpoint_arg $ restore_arg
+      $ retire_arg $ m_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the incremental scheduling engine as a service: read NDJSON arrival events \
+             from stdin or a file, emit rejsched.trace/1 decision lines and rejsched.serve/1 \
+             progress records as they happen, and optionally suspend to / resume from a \
+             checkpoint snapshot.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* bounds                                                              *)
 
 let bounds_cmd =
@@ -713,7 +938,7 @@ let () =
     (try
        Cmd.eval ~catch:false
          (Cmd.group info
-            [ run_cmd; experiment_cmd; adversary_cmd; fuzz_cmd; trace_cmd; bounds_cmd; gen_cmd; list_cmd ])
+            [ run_cmd; serve_cmd; experiment_cmd; adversary_cmd; fuzz_cmd; trace_cmd; bounds_cmd; gen_cmd; list_cmd ])
      with Invalid_argument msg ->
        prerr_endline ("rejsched: " ^ msg);
        2)

@@ -12,12 +12,10 @@ type st = { mutable seen : int; mutable rejected : int }
 
 let policy ~eps heuristic =
   if not (eps > 0. && eps < 1.) then invalid_arg "Immediate_reject.policy: eps must be in (0,1)";
-  let state = { seen = 0; rejected = 0 } in
-  let init _ =
-    state.seen <- 0;
-    state.rejected <- 0
-  in
-  let on_arrival () view (j : Job.t) =
+  (* The budget counters live in the policy state — not the closure — so
+     a checkpointed session carries them across freeze/thaw. *)
+  let init _ = { seen = 0; rejected = 0 } in
+  let on_arrival state view (j : Job.t) =
     state.seen <- state.seen + 1;
     let m = Array.length j.Job.sizes in
     let best = ref None in
@@ -55,7 +53,7 @@ let policy ~eps heuristic =
     end
     else Driver.dispatch target
   in
-  let select () view i =
+  let select _state view i =
     match Driver.pending_shortest view i with
     | None -> None
     | Some chosen -> Some { Driver.job = chosen.Job.id; speed = 1.0 }

@@ -18,7 +18,11 @@ type heuristic =
           time) exceeds the given multiple of the job's size (budget
           permitting). *)
 
-val policy : eps:float -> heuristic -> unit Driver.policy
+type st = { mutable seen : int; mutable rejected : int }
+(** The rejection-budget counters — policy state (not closure state), so
+    checkpointed sessions carry them across freeze/thaw. *)
+
+val policy : eps:float -> heuristic -> st Driver.policy
 (** SPT service order, greedy-completion dispatch, with the given
     at-arrival rejection heuristic constrained to reject at most
     [eps * (jobs seen)] jobs. *)

@@ -11,14 +11,26 @@ let config ?(kill_factor = 4.) ?(max_restarts = 2) () =
 type state = {
   cfg : config;
   instance : Instance.t;
-  restarted : int array;  (** Times each job has been killed. *)
+  mutable restarted : int array;  (** Times each job has been killed. *)
   mutable total_restarts : int;
 }
 
 let init cfg instance =
   { cfg; instance; restarted = Array.make (Instance.n instance) 0; total_restarts = 0 }
 
+(* Streaming sessions init with zero jobs; the per-job counters grow on
+   first sight of a larger id (batch runs pre-size to n). *)
+let ensure st id =
+  let len = Array.length st.restarted in
+  if id >= len then begin
+    let cap = max 16 (max (id + 1) (2 * len)) in
+    let nr = Array.make cap 0 in
+    Array.blit st.restarted 0 nr 0 len;
+    st.restarted <- nr
+  end
+
 let on_arrival st view (j : Job.t) =
+  ensure st j.id;
   (* Greedy estimated-completion dispatch, as the non-rejecting baselines. *)
   let best = ref None in
   for i = 0 to Instance.m st.instance - 1 do

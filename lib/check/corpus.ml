@@ -31,6 +31,14 @@ let seed_coords =
     ( "diurnal-greedy-fifo",
       "greedy-fifo",
       { Scenario.family = "diurnal"; seed = 23; n = 64; m = 4 } );
+    (* Distilled from rebatch (stream-vs-batch) fuzzing: clustered
+       arrivals put several releases inside one feed chunk while earlier
+       jobs are still finishing, so the drain horizon repeatedly lands
+       exactly on a completion key — the corner where a streaming
+       ordering bug would first diverge from the batch run. *)
+    ( "clustered-stream-flow-reject",
+      "flow-reject",
+      { Scenario.family = "clustered"; seed = 29; n = 24; m = 3 } );
   ]
 
 let seeds () =

@@ -116,7 +116,51 @@ let check_scale entry inst =
          r2.Metrics.count)
   else None
 
-let props = [ ("oracle", check_oracle); ("permute", check_permute); ("relabel", check_relabel); ("scale", check_scale) ]
+(* Rebatch metamorphism: feeding the same jobs through an incremental
+   session in arrival chunks — of any size pattern — must reproduce the
+   one-shot batch schedule byte for byte.  Three deterministic patterns
+   per instance: one-at-a-time, a fixed stride, and a varying stride
+   that exercises chunk-boundary/horizon interplay. *)
+let rebatch_patterns =
+  [ ("chunk=1", fun _ -> 1); ("chunk=3", fun _ -> 3); ("chunk=1+(k mod 4)", fun k -> 1 + (k mod 4)) ]
+
+let check_rebatch (entry : P.entry) inst =
+  let base = Serialize.schedule_to_string (entry.P.run inst) in
+  let jobs = Instance.jobs_by_release inst in
+  let n = Array.length jobs in
+  List.fold_left
+    (fun acc (pat_name, width) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          let s =
+            entry.P.open_stream ~name:inst.Instance.name ~machines:inst.Instance.machines ()
+          in
+          let k = ref 0 and round = ref 0 in
+          while !k < n do
+            let stop = min n (!k + width !round) in
+            for i = !k to stop - 1 do
+              s.P.ss_feed jobs.(i)
+            done;
+            s.P.ss_drain_until jobs.(stop - 1).Job.release;
+            k := stop;
+            incr round
+          done;
+          match s.P.ss_close () with
+          | Some sched, _ ->
+              if String.equal base (Serialize.schedule_to_string sched) then None
+              else Some (Printf.sprintf "streamed schedule diverges from batch under %s" pat_name)
+          | None, _ -> Some (pat_name ^ ": session returned no schedule")))
+    None rebatch_patterns
+
+let props =
+  [
+    ("oracle", check_oracle);
+    ("permute", check_permute);
+    ("relabel", check_relabel);
+    ("scale", check_scale);
+    ("rebatch", check_rebatch);
+  ]
 
 let property_fails entry prop inst =
   match List.assoc_opt prop props with

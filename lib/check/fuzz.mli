@@ -2,7 +2,7 @@
 
     Each {!Scenario} drawn from the worklist is expanded into an instance
     and every policy in the configured registry slice is run on it and
-    audited four ways:
+    audited five ways:
 
     - {b oracle}: the full {!Oracle.check} — structural invariants, the
       policy's theorem rejection budget, and reconciliation of the driver's
@@ -15,7 +15,11 @@
       argmin ties by machine id);
     - {b scale}: doubling the time unit (a power of two, hence exact in
       binary floating point) must scale total and weighted flow by exactly
-      two and preserve every rejection decision.
+      two and preserve every rejection decision;
+    - {b rebatch}: streaming the same jobs through an incremental
+      {!Sched_sim.Driver.Session} in arrival chunks (one at a time, a
+      fixed stride, a varying stride) must reproduce the one-shot batch
+      schedule byte for byte — how the stream is chopped is unobservable.
 
     Behavioural coverage — which (policy, family, feature-bits) triples
     have been observed, where the bits record rejections, mid-run
@@ -56,7 +60,7 @@ val config :
 type failure = {
   scenario : Scenario.t;
   policy : string;
-  prop : string;  (** ["oracle" | "permute" | "relabel" | "scale"]. *)
+  prop : string;  (** ["oracle" | "permute" | "relabel" | "scale" | "rebatch"]. *)
   detail : string;
   shrunk : Instance.t;  (** Smallest instance still failing [prop]. *)
   forensics : string;

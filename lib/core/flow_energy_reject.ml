@@ -15,8 +15,8 @@ type state = {
   cfg : config;
   instance : Instance.t;
   gammas : float array;  (** Speed constant per machine. *)
-  v : float array;  (** Weight counters of running jobs, by job id. *)
-  lambda : float array;
+  mutable v : float array;  (** Weight counters of running jobs, by job id. *)
+  mutable lambda : float array;
   mutable rej : int;
 }
 
@@ -79,9 +79,24 @@ let init cfg instance =
   in
   { cfg; instance; gammas; v = Array.make n 0.; lambda = Array.make n 0.; rej = 0 }
 
+(* Streaming sessions init with zero jobs; the per-job columns grow on
+   first sight of a larger id (batch runs pre-size to n). *)
+let ensure st id =
+  let len = Array.length st.v in
+  if id >= len then begin
+    let cap = max 16 (max (id + 1) (2 * len)) in
+    let nv = Array.make cap 0. in
+    Array.blit st.v 0 nv 0 len;
+    st.v <- nv;
+    let nl = Array.make cap 0. in
+    Array.blit st.lambda 0 nl 0 len;
+    st.lambda <- nl
+  end
+
 (* The sequential tail of [on_arrival]: fix the dual variable and apply
    the weighted Rule 1; shared with the sharded resolve below. *)
 let commit st view (j : Job.t) ~target ~best =
+  ensure st j.id;
   st.lambda.(j.id) <- st.cfg.eps /. (1. +. st.cfg.eps) *. best;
   let rejections = ref [] in
   (match Driver.running_on view target with

@@ -20,9 +20,9 @@ type state = {
           [eps_eff] for Lemma 4 to hold exactly. *)
   thr1 : int;  (** Rule 1 threshold, [1/eps_eff = ceil(1/eps)]. *)
   thr2 : int;  (** Rule 2 threshold, [1 + 1/eps_eff]. *)
-  v : int array;  (** Rule 1 counters, indexed by job id (valid while running). *)
+  mutable v : int array;  (** Rule 1 counters, indexed by job id (valid while running). *)
   c : int array;  (** Rule 2 counters, indexed by machine id. *)
-  lambda : float array;  (** Dual variables, indexed by job id. *)
+  mutable lambda : float array;  (** Dual variables, indexed by job id. *)
   mutable rej1 : int;
   mutable rej2 : int;
 }
@@ -86,11 +86,27 @@ let init cfg instance =
     rej2 = 0;
   }
 
+(* Streaming sessions init with zero jobs and reveal ids as they arrive;
+   the per-job counters grow on first sight of a larger id (batch runs
+   pre-size to n, so this never fires there). *)
+let ensure st id =
+  let len = Array.length st.v in
+  if id >= len then begin
+    let cap = max 16 (max (id + 1) (2 * len)) in
+    let nv = Array.make cap 0 in
+    Array.blit st.v 0 nv 0 len;
+    st.v <- nv;
+    let nl = Array.make cap 0. in
+    Array.blit st.lambda 0 nl 0 len;
+    st.lambda <- nl
+  end
+
 (* The sequential tail of [on_arrival]: fix the dual variable and apply
    the rejection rules, given the argmin machine and its lambda.  Shared
    verbatim between the plain entry point and the sharded resolve so the
    two cannot drift. *)
 let commit st view (j : Job.t) ~target ~best_lambda =
+  ensure st j.id;
   let eps = st.eps_eff in
   st.lambda.(j.id) <- eps /. (1. +. eps) *. best_lambda;
   (* Rejection Rule 1: bump the running job's counter. *)

@@ -11,7 +11,7 @@ let config ?(rule1 = true) ?(rule2 = true) ~eps () =
 type state = {
   cfg : config;
   instance : Instance.t;
-  v : float array;  (** Weight accumulated against the running job. *)
+  mutable v : float array;  (** Weight accumulated against the running job. *)
   c : float array;  (** Weight accumulated per machine since last reset. *)
   mutable rej1 : int;
   mutable rej2 : int;
@@ -65,9 +65,21 @@ let init cfg instance =
     rej2 = 0;
   }
 
+(* Streaming sessions init with zero jobs; the per-job counters grow on
+   first sight of a larger id (batch runs pre-size to n). *)
+let ensure st id =
+  let len = Array.length st.v in
+  if id >= len then begin
+    let cap = max 16 (max (id + 1) (2 * len)) in
+    let nv = Array.make cap 0. in
+    Array.blit st.v 0 nv 0 len;
+    st.v <- nv
+  end
+
 (* The sequential tail of [on_arrival] given the argmin machine; shared
    with the sharded resolve below. *)
 let commit st view (j : Job.t) ~target =
+  ensure st j.id;
   let eps = st.cfg.eps in
   st.c.(target) <- st.c.(target) +. j.weight;
   let rejections = ref [] in

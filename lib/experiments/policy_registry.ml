@@ -5,6 +5,21 @@ module FRW = Rejection.Flow_reject_weighted
 module FER = Rejection.Flow_energy_reject
 module B = Sched_baselines
 
+(* A live streaming session with the policy-state type hidden: the
+   registry's callers (serve, the differential suites, the fuzzer) are
+   policy-generic, so the existential is erased here, once, behind plain
+   closures. *)
+type stream_session = {
+  ss_feed : Job.t -> unit;
+  ss_drain_until : Time.t -> unit;
+  ss_next_key : unit -> Time.t;
+  ss_fed : unit -> int;
+  ss_live : unit -> Driver.live_metrics;
+  ss_close : unit -> Schedule.t option * Driver.live_metrics;
+  ss_freeze : unit -> string;
+  ss_trace : unit -> Trace.t option;
+}
+
 type entry = {
   name : string;
   allow_restarts : bool;
@@ -23,9 +38,32 @@ type entry = {
     shards:int ->
     Instance.t ->
     Schedule.t * Driver.live_metrics;
+  open_stream :
+    ?trace:Trace.t ->
+    ?obs:Sched_obs.Obs.t ->
+    ?recorder:Sched_obs.Recorder.t ->
+    ?check:bool ->
+    ?retire:bool ->
+    ?name:string ->
+    machines:Machine.t array ->
+    unit ->
+    stream_session;
+  restore_stream : ?obs:Sched_obs.Obs.t -> string -> stream_session;
   reference : (Instance.t -> Schedule.t) option;
   budget : Sched_check.Oracle.budget option;
 }
+
+let wrap_session s =
+  {
+    ss_feed = Driver.Session.feed s;
+    ss_drain_until = Driver.Session.drain_until s;
+    ss_next_key = (fun () -> Driver.Session.next_key s);
+    ss_fed = (fun () -> Driver.Session.fed s);
+    ss_live = (fun () -> Driver.Session.live_metrics s);
+    ss_close = (fun () -> let sch, _, live = Driver.Session.close s in (sch, live));
+    ss_freeze = (fun () -> Driver.Session.freeze s);
+    ss_trace = (fun () -> Driver.Session.trace s);
+  }
 
 let pack ?reference ?budget ?(allow_restarts = false) ?hooks make_policy name =
   {
@@ -46,6 +84,13 @@ let pack ?reference ?budget ?(allow_restarts = false) ?hooks make_policy name =
           Driver.run_sharded ?recorder ~check ?hooks ?pool ~shards (make_policy ()) instance
         in
         (s, live));
+    open_stream =
+      (fun ?trace ?obs ?recorder ?check ?retire ?name ~machines () ->
+        wrap_session
+          (Driver.Session.open_session ?trace ?obs ?recorder ?check ?retire ?name ~machines
+             (make_policy ())));
+    restore_stream =
+      (fun ?obs payload -> wrap_session (Driver.Session.thaw ?obs (make_policy ()) payload));
     reference =
       Option.map (fun mk instance -> Driver.run_schedule (mk ()) instance) reference;
     budget;

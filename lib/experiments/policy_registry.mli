@@ -9,6 +9,23 @@
 open Sched_model
 open Sched_sim
 
+type stream_session = {
+  ss_feed : Job.t -> unit;
+  ss_drain_until : Time.t -> unit;
+  ss_next_key : unit -> Time.t;
+  ss_fed : unit -> int;
+  ss_live : unit -> Driver.live_metrics;
+  ss_close : unit -> Schedule.t option * Driver.live_metrics;
+  ss_freeze : unit -> string;
+  ss_trace : unit -> Trace.t option;
+}
+(** A live {!Sched_sim.Driver.Session} with the policy-state type
+    erased: plain closures over one session, for policy-generic callers
+    (the serve loop, the stream differential suite, the fuzzer).  Field
+    semantics are exactly the Session operations of the same names;
+    [ss_close] drops the policy state and returns the live-metrics
+    snapshot alongside the (retirement-dependent) schedule. *)
+
 type entry = {
   name : string;
   allow_restarts : bool;
@@ -40,6 +57,24 @@ type entry = {
           [on_arrival] evaluated sequentially in phase 2.  Bit-identical
           to [run_impl ~impl:Flat] at every shard count — the shard
           differential suite pins S in [{1,2,4}]. *)
+  open_stream :
+    ?trace:Trace.t ->
+    ?obs:Sched_obs.Obs.t ->
+    ?recorder:Sched_obs.Recorder.t ->
+    ?check:bool ->
+    ?retire:bool ->
+    ?name:string ->
+    machines:Machine.t array ->
+    unit ->
+    stream_session;
+      (** A fresh incremental session over the fleet under this entry's
+          policy — the engine behind [rejsched serve].  Options are
+          {!Sched_sim.Driver.Session.open_session}'s. *)
+  restore_stream : ?obs:Sched_obs.Obs.t -> string -> stream_session;
+      (** Rebuilds a session from a {!Sched_sim.Driver.Session.freeze}
+          payload (the caller unwraps the {!Sched_sim.Snapshot} container
+          and routes by its policy name first).  Raises
+          [Invalid_argument] on a payload frozen under another policy. *)
   reference : (Instance.t -> Schedule.t) option;
       (** The {!Sched_baselines.Seed_reference} mirror: same decisions via
           linear scans; must produce the identical schedule. *)

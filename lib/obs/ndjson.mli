@@ -33,3 +33,24 @@ val float_repr : float -> string
     (as {!Export.json} does) stays valid JSON. *)
 
 val value_to_string : value -> string
+
+(** {1 Reading}
+
+    A full (nested) JSON tree for the consuming direction — [rejsched
+    serve] parses arrival records with it.  [value] above stays flat
+    because the writers never nest. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Total: malformed input (including trailing garbage after the value)
+    yields [Error msg] with the byte offset, never an exception. *)
+
+val member : string -> json -> json option
+(** First binding of the field in an object; [None] on non-objects. *)

@@ -1055,22 +1055,148 @@ let make_flat_handlers ?trace ?recorder ~instr ~push_finish fs policy pstate vw 
   in
   (commit_arrival, commit_finish)
 
-let run_flat ?trace ?obs ?recorder ?(check = false) policy instance =
-  let m = Instance.m instance in
-  let fs = Flat_state.of_instance instance in
+(* ------------------------------------------------------------------ *)
+(* The incremental session: the flat core as a long-lived engine.
+   [run_flat] below is a thin wrapper — open, feed every job, close — so
+   the batch path is literally a replay of the session path and every
+   batch differential gate also pins this machinery.
+
+   Why streaming is byte-identical to batch: arrival tags carry a high
+   kind bit ([Pqueue.Events.Key.arrival_bit]), so cross-kind ordering at
+   equal keys never consults the sequence number; within a kind, the
+   relative tag order matches the batch run's (arrivals are fed in
+   [(release, id)] order — [seed_arrivals]'s order, enforced by [feed] —
+   and completions are scheduled in identical pop order, inductively).
+   The feed contract — a job's arrival must enter the queue before any
+   drain passes its release, enforced by the drained-horizon check — is
+   therefore exactly the condition under which the pop sequence, and
+   hence schedule, trace, recorder ring and live metrics, coincide with
+   the uninterrupted batch run's, byte for byte. *)
+
+type 'a session = {
+  ss_policy : 'a policy;
+  ss_pstate : 'a;
+  ss_fs : Flat_state.t;
+  ss_view : view;
+  ss_trace : Trace.t option;
+  ss_recorder : Rec.t option;
+  ss_obs : Sched_obs.Obs.t option;
+  ss_instr : instr option;
+  ss_check : bool;
+  ss_commit_arrival : Job.t -> decision -> unit;
+  ss_commit_finish : int -> int -> unit;
+  (* Float cells live in one-slot arrays so updates never box. *)
+  ss_hwm : float array;  (** drained horizon: no event key below it remains *)
+  ss_last_rel : float array;  (** release of the last fed job *)
+  mutable ss_last_id : int;
+  mutable ss_nfed : int;
+  mutable ss_fed : Job.t list;
+      (** Reverse feed order, for materializing the closing schedule's
+          instance — empty in retire mode, which never materializes:
+          retaining the job boxes would put an O(n) floor under the
+          rolling-retirement memory bound the bench gates. *)
+  mutable ss_closed : bool;
+  ss_minor : float array;  (** minor words across all drains *)
+  ss_batch : Instance.t option;
+  ss_name : string;  (** name the materialized instance carries *)
+}
+
+(* Everything marshaled into a checkpoint.  Handlers, instruments and the
+   policy's closures are rebuilt at thaw; [Marshal.Closures] covers the
+   heap comparators inside [Flat_state.t] (closures over the very column
+   arrays the state owns — sharing is preserved within the one marshal
+   call) and pins the snapshot to the producing executable, which is the
+   contract anyway (the container's version/checksum reject everything
+   else first). *)
+type 'a frozen = {
+  z_fs : Flat_state.t;
+  z_pstate : 'a;
+  z_hwm : float;
+  z_last_rel : float;
+  z_last_id : int;
+  z_nfed : int;
+  z_fed : Job.t list;
+  z_trace : Trace.t option;
+  z_recorder : Rec.t option;
+  z_check : bool;
+  z_minor : float;
+  z_batch : Instance.t option;
+  z_name : string;
+  z_iname : string;
+}
+
+let session_make ?trace ?obs ?recorder ~check ~retire ~batch ~name ~machines policy =
+  if check && retire then
+    invalid_arg "Driver.Session: cannot oracle-audit (check) a session that retires segments";
+  let fs = Flat_state.of_stream ~machines in
+  if retire then Flat_state.set_retire fs true;
+  (match batch with
+  | Some instance -> Flat_state.reserve fs (Instance.n instance)
+  | None -> ());
   let vw = V_flat fs in
-  let instr = match obs with None -> None | Some o -> Some (make_instr o m) in
-  let pstate = policy.init instance in
-  Flat_state.seed_arrivals fs;
+  let instr = match obs with None -> None | Some o -> Some (make_instr o (Array.length machines)) in
+  let pstate = policy.init (match batch with Some i -> i | None -> Flat_state.instance fs) in
   let push_finish i finish = Flat_state.push_finish fs ~machine:i ~time:finish in
   let commit_arrival, commit_finish =
     make_flat_handlers ?trace ?recorder ~instr ~push_finish fs policy pstate vw
   in
+  {
+    ss_policy = policy;
+    ss_pstate = pstate;
+    ss_fs = fs;
+    ss_view = vw;
+    ss_trace = trace;
+    ss_recorder = recorder;
+    ss_obs = obs;
+    ss_instr = instr;
+    ss_check = check;
+    ss_commit_arrival = commit_arrival;
+    ss_commit_finish = commit_finish;
+    ss_hwm = [| neg_infinity |];
+    ss_last_rel = [| neg_infinity |];
+    ss_last_id = -1;
+    ss_nfed = 0;
+    ss_fed = [];
+    ss_closed = false;
+    ss_minor = [| 0. |];
+    ss_batch = batch;
+    ss_name = name;
+  }
+
+let session_feed s (j : Job.t) =
+  if s.ss_closed then invalid_arg "Driver.Session: feed on a closed session";
+  let r = j.Job.release in
+  if Float.is_nan r || r < s.ss_hwm.(0) then
+    invalid_arg
+      (Printf.sprintf "Driver.Session: job %d released at %g behind the drained horizon %g"
+         j.Job.id r s.ss_hwm.(0));
+  if r < s.ss_last_rel.(0) || (r = s.ss_last_rel.(0) && j.Job.id <= s.ss_last_id) then
+    invalid_arg
+      (Printf.sprintf
+         "Driver.Session: job %d at %g breaks the strictly increasing (release, id) feed order"
+         j.Job.id r);
+  Flat_state.add_job s.ss_fs j;
+  s.ss_last_rel.(0) <- r;
+  s.ss_last_id <- j.Job.id;
+  s.ss_nfed <- s.ss_nfed + 1;
+  if not (Flat_state.retire s.ss_fs) then s.ss_fed <- j :: s.ss_fed
+
+(* One bounded drain: [run_flat]'s event loop verbatim, except the pop
+   refuses events beyond [limit] ([~limit:infinity] at close runs the
+   queue dry, so batch runs execute this exact code).  [limit] is boxed
+   once per call — captured by the [pop] closure — never per event. *)
+let session_drain s ~limit =
+  let fs = s.ss_fs in
+  let policy = s.ss_policy and pstate = s.ss_pstate and vw = s.ss_view in
+  let commit_arrival = s.ss_commit_arrival and commit_finish = s.ss_commit_finish in
+  let instr = s.ss_instr in
   let pop =
     match instr with
-    | None -> fun () -> Flat_state.next_event fs
+    | None -> fun () -> Flat_state.next_event_before fs ~limit
     | Some ins ->
-        fun () -> Sched_obs.Sink.time ins.i_sink phase_heap (fun () -> Flat_state.next_event fs)
+        fun () ->
+          Sched_obs.Sink.time ins.i_sink phase_heap (fun () ->
+              Flat_state.next_event_before fs ~limit)
   in
   let[@rejlint.hot] rec loop () =
     if pop () then begin
@@ -1100,13 +1226,26 @@ let run_flat ?trace ?obs ?recorder ?(check = false) policy instance =
   let w0 = Gc.minor_words () in
   loop ();
   let w1 = Gc.minor_words () in
-  (match obs with
+  s.ss_minor.(0) <- s.ss_minor.(0) +. (w1 -. w0)
+
+let session_drain_until s horizon =
+  if s.ss_closed then invalid_arg "Driver.Session: drain_until on a closed session";
+  if Float.is_nan horizon then invalid_arg "Driver.Session: drain_until NaN";
+  session_drain s ~limit:horizon;
+  if horizon > s.ss_hwm.(0) then s.ss_hwm.(0) <- horizon
+
+let session_close s =
+  if s.ss_closed then invalid_arg "Driver.Session: close on a closed session";
+  session_drain s ~limit:infinity;
+  s.ss_closed <- true;
+  let fs = s.ss_fs in
+  (match s.ss_obs with
   | None -> ()
   | Some o ->
       (* The allocations-per-event instrument: minor words allocated across
          the event loop (policy allocations included — the driver itself
-         contributes none in steady state) over events processed.  The
-         loop runs the queue dry, so pushes = pops. *)
+         contributes none in steady state) over events processed.  Close
+         runs the queue dry, so pushes = pops. *)
       let reg = Sched_obs.Obs.registry o in
       let cw =
         Sched_obs.Registry.counter reg
@@ -1116,18 +1255,130 @@ let run_flat ?trace ?obs ?recorder ?(check = false) policy instance =
         Sched_obs.Registry.counter reg ~help:"Events processed by the flat event loop"
           c_flat_events_name
       in
-      Sched_obs.Metric.Counter.add cw (w1 -. w0);
+      Sched_obs.Metric.Counter.add cw s.ss_minor.(0);
       Sched_obs.Metric.Counter.add ce (float_of_int (Flat_state.events_pushed fs)));
-  for i = 0 to m - 1 do
+  for i = 0 to Flat_state.m fs - 1 do
     if Flat_state.pend_count fs i > 0 || Flat_state.run_job fs i >= 0 then
       invalid_arg
-        (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" policy.name i)
+        (Printf.sprintf "Driver: policy %s left work unfinished on machine %d" s.ss_policy.name
+           i)
   done;
-  let schedule = Flat_state.to_schedule fs in
-  if check then
-    audit ?obs ?recorder ~name:policy.name ~saw_restart:(Flat_state.saw_restart fs) (live vw)
-      schedule;
-  (schedule, pstate, vw)
+  if Flat_state.retire fs then (None, s.ss_pstate, s.ss_view)
+  else begin
+    (match s.ss_batch with
+    | Some instance -> Flat_state.set_instance fs instance
+    | None ->
+        (* Materialize the fed stream as a real instance so the schedule
+           (and the oracle) get the same boxed shape batch runs produce.
+           [Instance.create] re-validates — dense job ids included. *)
+        let machines = (Flat_state.instance fs).Instance.machines in
+        Flat_state.set_instance fs
+          (Instance.create ~name:s.ss_name ~machines ~jobs:(List.rev s.ss_fed) ()));
+    let schedule = Flat_state.to_schedule fs in
+    if s.ss_check then
+      audit ?obs:s.ss_obs ?recorder:s.ss_recorder ~name:s.ss_policy.name
+        ~saw_restart:(Flat_state.saw_restart fs) (live s.ss_view) schedule;
+    (Some schedule, s.ss_pstate, s.ss_view)
+  end
+
+let session_freeze s =
+  if s.ss_closed then invalid_arg "Driver.Session: freeze on a closed session";
+  Marshal.to_string
+    {
+      z_fs = s.ss_fs;
+      z_pstate = s.ss_pstate;
+      z_hwm = s.ss_hwm.(0);
+      z_last_rel = s.ss_last_rel.(0);
+      z_last_id = s.ss_last_id;
+      z_nfed = s.ss_nfed;
+      z_fed = s.ss_fed;
+      z_trace = s.ss_trace;
+      z_recorder = s.ss_recorder;
+      z_check = s.ss_check;
+      z_minor = s.ss_minor.(0);
+      z_batch = s.ss_batch;
+      z_name = s.ss_policy.name;
+      z_iname = s.ss_name;
+    }
+    [ Marshal.Closures ]
+
+let session_thaw ?obs policy payload =
+  let z =
+    try (Marshal.from_string payload 0 : _ frozen)
+    with Failure msg -> invalid_arg ("Driver.Session: unreadable snapshot payload: " ^ msg)
+  in
+  if not (String.equal z.z_name policy.name) then
+    invalid_arg
+      (Printf.sprintf "Driver.Session: snapshot was taken under policy %s, not %s" z.z_name
+         policy.name);
+  let fs = z.z_fs in
+  let vw = V_flat fs in
+  let instr = match obs with None -> None | Some o -> Some (make_instr o (Flat_state.m fs)) in
+  let push_finish i finish = Flat_state.push_finish fs ~machine:i ~time:finish in
+  let commit_arrival, commit_finish =
+    make_flat_handlers ?trace:z.z_trace ?recorder:z.z_recorder ~instr ~push_finish fs policy
+      z.z_pstate vw
+  in
+  {
+    ss_policy = policy;
+    ss_pstate = z.z_pstate;
+    ss_fs = fs;
+    ss_view = vw;
+    ss_trace = z.z_trace;
+    ss_recorder = z.z_recorder;
+    ss_obs = obs;
+    ss_instr = instr;
+    ss_check = z.z_check;
+    ss_commit_arrival = commit_arrival;
+    ss_commit_finish = commit_finish;
+    ss_hwm = [| z.z_hwm |];
+    ss_last_rel = [| z.z_last_rel |];
+    ss_last_id = z.z_last_id;
+    ss_nfed = z.z_nfed;
+    ss_fed = z.z_fed;
+    ss_closed = false;
+    ss_minor = [| z.z_minor |];
+    ss_batch = z.z_batch;
+    ss_name = z.z_iname;
+  }
+
+module Session = struct
+  type 'a t = 'a session
+
+  let open_session ?trace ?obs ?recorder ?(check = false) ?(retire = false) ?(name = "stream")
+      ~machines policy =
+    session_make ?trace ?obs ?recorder ~check ~retire ~batch:None ~name ~machines policy
+
+  let feed = session_feed
+  let drain_until = session_drain_until
+  let next_key s = Flat_state.next_key s.ss_fs
+  let drained s = s.ss_hwm.(0)
+  let fed s = s.ss_nfed
+  let view s = s.ss_view
+  let policy_state s = s.ss_pstate
+  let live_metrics s = live s.ss_view
+  let trace s = s.ss_trace
+
+  let close s =
+    let schedule, pstate, vw = session_close s in
+    (schedule, pstate, live vw)
+
+  let freeze = session_freeze
+  let thaw = session_thaw
+end
+
+let run_flat ?trace ?obs ?recorder ?(check = false) policy instance =
+  let s =
+    session_make ?trace ?obs ?recorder ~check ~retire:false ~batch:(Some instance)
+      ~name:instance.Instance.name ~machines:instance.Instance.machines policy
+  in
+  let jobs = Instance.jobs_by_release instance in
+  for k = 0 to Array.length jobs - 1 do
+    session_feed s jobs.(k)
+  done;
+  match session_close s with
+  | Some schedule, pstate, vw -> (schedule, pstate, vw)
+  | None, _, _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* The sharded core: one run, S machine shards, a deterministic two-phase

@@ -258,6 +258,131 @@ val run_schedule :
   Schedule.t
 (** [run] dropping the policy state. *)
 
+(** {1 Incremental sessions}
+
+    The flat core as a long-lived engine: open a session over the
+    machine fleet alone, feed arrivals as they become known, drain the
+    event loop up to a horizon, and close to materialize the schedule.
+    {!run} on the flat core {e is} a session — open, feed every job,
+    close — so the batch path is a verbatim replay of the session path
+    and all batch differential gates pin this machinery too.
+
+    {b Byte-identity.}  Provided jobs are fed in strictly increasing
+    [(release, id)] order (the order {!Sched_model.Instance.jobs_by_release}
+    realizes) and each job is fed before any drain passes its release
+    (enforced: {!Session.feed} rejects a release behind the drained
+    horizon), the session's schedule, trace, recorder ring and live
+    metrics are byte-identical to the uninterrupted {!run} over the same
+    jobs — regardless of how the stream is chunked into feed/drain
+    cycles.  The stream differential suite pins this across the fuzz
+    corpus, every registry policy and batch sizes [{1, 7, all}].
+
+    {b Checkpoint/restore.}  {!Session.freeze} marshals the complete
+    session — flat columns, policy state, trace, recorder, feed cursor —
+    into a binary payload; {!Session.thaw} rebuilds a live session from
+    it.  Resuming a frozen session replays the remaining stream exactly
+    as the uninterrupted run would have: suspend/resume at any event
+    boundary is byte-identical (pinned by the checkpoint suite).  The
+    payload embeds code pointers ([Marshal.Closures]) and is therefore
+    valid only for the executable that produced it; wrap it in
+    {!Sched_sim.Snapshot} for a self-describing container whose
+    magic/version/checksum fail closed on anything else.
+
+    {b Bounded memory.}  [~retire:true] folds completed segments into
+    the rolling accumulators instead of storing them and drops settled
+    jobs' boxed handles, so resident memory is bounded by the live set
+    plus the flat columns; {!Session.close} then returns [None] instead
+    of a schedule (live metrics remain exact).  Retirement cannot be
+    combined with [~check] — the oracle needs the full schedule. *)
+
+module Session : sig
+  type 'a t
+  (** A session running policy state ['a].  Not thread-safe; one writer. *)
+
+  val open_session :
+    ?trace:Trace.t ->
+    ?obs:Sched_obs.Obs.t ->
+    ?recorder:Sched_obs.Recorder.t ->
+    ?check:bool ->
+    ?retire:bool ->
+    ?name:string ->
+    machines:Machine.t array ->
+    'a policy ->
+    'a t
+  (** Opens a session over the fleet.  The policy's [init] sees a
+      machines-only instance (zero jobs): registry policies size their
+      per-job state lazily, so this is unobservable.  [?check] audits
+      the materialized schedule at {!close} with the oracle;
+      [?retire] enables segment retirement; [?name] (default
+      ["stream"]) names the instance {!close} materializes, letting a
+      streamed schedule serialize byte-identically to a batch run over a
+      same-named instance.  Raises [Invalid_argument] when [check] and
+      [retire] are both set, or on an invalid fleet. *)
+
+  val feed : 'a t -> Job.t -> unit
+  (** Queues one arrival.  Jobs must arrive in strictly increasing
+      [(release, id)] order, at or after the drained horizon; ids must
+      be distinct non-negative ints (dense [0..n-1] is only required if
+      the session will materialize a schedule at {!close}).  Raises
+      [Invalid_argument] on an out-of-order, duplicate or
+      behind-the-horizon job, and on a closed session. *)
+
+  val drain_until : 'a t -> Time.t -> unit
+  (** Runs the event loop up to and including the horizon: every queued
+      event with key [<= horizon] — arrivals fed so far, completions
+      they cascade into — is processed, in exactly the order the batch
+      loop would process it.  Advances the drained horizon (monotone;
+      draining backwards is a no-op).  Raises on a closed session. *)
+
+  val next_key : 'a t -> Time.t
+  (** Key of the next queued event, [infinity] when idle — how far the
+      serve loop may drain without outrunning the stream. *)
+
+  val drained : 'a t -> Time.t
+  (** The drained horizon ([neg_infinity] before the first
+      {!drain_until}). *)
+
+  val fed : 'a t -> int
+  (** Jobs fed so far. *)
+
+  val view : 'a t -> view
+  val policy_state : 'a t -> 'a
+
+  val trace : 'a t -> Trace.t option
+  (** The trace the session records into, if any — for a thawed session
+      this is the trace carried inside the frozen payload, which the
+      serve loop can reach no other way (its emission cursor restarts at
+      {!Trace.length}). *)
+
+  val live_metrics : 'a t -> live_metrics
+  (** Incremental metrics over what has been drained so far.  After
+      {!close} (which drains everything), equals the batch run's final
+      snapshot exactly ([Float.equal], field by field). *)
+
+  val close : 'a t -> Schedule.t option * 'a * live_metrics
+  (** Drains the queue dry, checks no machine was left with unfinished
+      work, materializes the schedule ([None] under retirement) and
+      audits it when the session was opened with [?check].  The
+      schedule is byte-identical to {!run}'s over the same jobs.
+      Raises [Invalid_argument] if already closed, and whatever the
+      audit raises on a violation. *)
+
+  val freeze : 'a t -> string
+  (** The session's complete state as a binary payload (callable at any
+      event boundary — between any feed/drain calls — on an open
+      session).  The session remains usable; freezing is observation,
+      not termination. *)
+
+  val thaw : ?obs:Sched_obs.Obs.t -> 'a policy -> string -> 'a t
+  (** Rebuilds a live session from a {!freeze} payload.  The policy
+      must be the same policy (checked by name; its closures are taken
+      fresh, all mutable policy state lives in the marshaled ['a]).
+      Telemetry instruments are rebuilt against [?obs] — counters
+      restart from the restoring process's registry, which is the one
+      non-replayed observable.  Raises [Invalid_argument] on a
+      truncated/corrupt payload or a policy mismatch. *)
+end
+
 (** {1 Sharded execution}
 
     A single run parallelized {e within} the event loop: machines are

@@ -34,11 +34,23 @@ let f_max_stretch = 6
 let f_energy = 7
 let f_makespan = 8
 let f_rej_weight = 9
-let facc_len = 10
+
+(* Total released weight: a constant of the instance in batch runs, but a
+   running sum in streaming sessions (accumulated as jobs are fed, in the
+   same jobs-by-release order [Instance.total_weight] folds in, so the
+   float sum is bit-identical once the stream is complete). *)
+let f_total_weight = 10
+let facc_len = 11
 
 (* [loc] codes, mirroring the boxed driver's [location]: *)
 let loc_unreleased = -1
 let loc_settled = -2
+
+(* Streaming only: fed through [add_job], arrival event queued, not yet
+   released.  Indistinguishable from [loc_unreleased] to the driver (both
+   fail [loc_is_pending]/[loc_is_running]); it exists so [add_job] can
+   reject duplicate ids. *)
+let loc_queued = -3
 let loc_pending ~machine = 2 * machine
 let loc_running ~machine = (2 * machine) + 1
 let loc_is_pending l = l >= 0 && l land 1 = 0
@@ -51,17 +63,29 @@ let out_completed = 1
 let out_rejected = 2
 
 type t = {
-  instance : Instance.t;
-  n : int;
+  mutable instance : Instance.t;
+      (* Batch: the full instance.  Streaming: a machines-only stand-in
+         until [set_instance] swaps the materialized one in at close. *)
+  mutable n : int;  (* jobs known so far; grows in streaming sessions *)
   m : int;
-  (* Immutable job columns, indexed by job id (ids are 0..n-1). *)
-  jobs : Job.t array;  (* by id, not release order *)
-  release : float array;
-  weight : float array;
-  min_size : float array;
-  size_col : float array;  (* p_ij at [(i * n) + j] *)
-  dens_col : float array;  (* w_j /. p_ij at [(i * n) + j] *)
-  total_weight : float;
+  mutable stride : int;
+      (* Row length of the per-(machine, job) matrices below — the job
+         capacity.  Equals [n] in batch runs; grows by doubling in
+         streaming sessions, with the heap comparators re-blessed onto
+         the reallocated columns ([Pqueue.Iheap.set_less]). *)
+  mutable retire : bool;
+      (* Rolling-retirement mode: completed/rejected work is folded into
+         the accumulators only — no segment store, and the boxed [Job.t]
+         handle is dropped — so memory stays bounded by the live set
+         plus the flat columns.  [to_schedule] is unavailable. *)
+  (* Job columns, indexed by job id (ids are 0..n-1); written once per
+     job ([of_instance] or [add_job]), read-only afterwards. *)
+  mutable jobs : Job.t array;  (* by id, not release order *)
+  mutable release : float array;
+  mutable weight : float array;
+  mutable min_size : float array;
+  mutable size_col : float array;  (* p_ij at [(i * stride) + j] *)
+  mutable dens_col : float array;  (* w_j /. p_ij at [(i * stride) + j] *)
   (* Pending sets: five orders per machine over bare job ids, plus the
      incremental work/weight aggregates.  Only [by_spt] is observable as
      a *layout* (through [pend_iter]); the four auxiliary orders expose
@@ -88,7 +112,7 @@ type t = {
   run_finish : float array;
   epoch : int array;
   (* Job status (see the [loc_*] codes above). *)
-  loc : int array;
+  mutable loc : int array;
   (* Event queue and its shared insertion-sequence counter. *)
   events : Pqueue.Events.t;
   mutable seq : int;
@@ -100,13 +124,15 @@ type t = {
   mutable a_mid_run : int;
   mutable saw_restart : bool;
   (* Outcomes by job id: kind, machine, start-or-rejection time, speed,
-     finish, mid-run flag. *)
-  out_kind : int array;
-  out_machine : int array;
-  out_t0 : float array;
-  out_speed : float array;
-  out_finish : float array;
-  out_running : bool array;
+     finish, mid-run flag.  Kept even under retirement — [out_kind] is
+     what [check_undecided]'s double-decide guard reads, and the arrays
+     are already at column capacity. *)
+  mutable out_kind : int array;
+  mutable out_machine : int array;
+  mutable out_t0 : float array;
+  mutable out_speed : float array;
+  mutable out_finish : float array;
+  mutable out_running : bool array;
   (* Segments in insertion order, in growable parallel arrays. *)
   mutable seg_job : int array;
   mutable seg_machine : int array;
@@ -153,6 +179,28 @@ let less_fifo rel a b =
   let ra = rel.(a) and rb = rel.(b) in
   if ra < rb then true else if ra > rb then false else a < b
 
+(* Fill value for the [jobs] column: streaming sessions grow the array
+   before the real handles exist, and rolling retirement drops a handle
+   the moment its job settles.  Never read back — every consumer goes
+   through [loc]/[out_kind] first.  ([Job.t] is private, so the stand-in
+   goes through the validating constructor like any other job.) *)
+let retired_job = Job.create ~id:0 ~release:0. ~sizes:[| 1. |] ()
+
+(* Point the five per-machine heap orders at the current column arrays.
+   Called at creation and again after every streaming column growth —
+   the comparators capture the arrays (and the machine's row base)
+   directly so the per-comparison path stays free of indirection. *)
+let rebless_heaps t =
+  let sz = t.size_col and dn = t.dens_col and rel = t.release in
+  for i = 0 to t.m - 1 do
+    let base = i * t.stride in
+    Pqueue.Iheap.set_less t.by_spt.(i) ~less:(less_spt sz rel base);
+    Pqueue.Iheap.set_less t.by_spt_rev.(i) ~less:(less_spt_rev sz rel base);
+    Pqueue.Iheap.set_less t.by_density.(i) ~less:(less_density dn rel base);
+    Pqueue.Iheap.set_less t.by_size_id.(i) ~less:(less_size_id sz base);
+    Pqueue.Iheap.set_less t.by_fifo.(i) ~less:(less_fifo rel)
+  done
+
 let of_instance instance =
   let n = Instance.n instance and m = Instance.m instance in
   if m > Pqueue.Events.Key.max_machine then
@@ -184,17 +232,20 @@ let of_instance instance =
     done
   done;
   let heap mk = Array.init m (fun i -> Pqueue.Iheap.create ~less:(mk (i * n)) ()) in
+  let facc = Array.make facc_len 0. in
+  facc.(f_total_weight) <- Instance.total_weight instance;
   {
     instance;
     n;
     m;
+    stride = n;
+    retire = false;
     jobs;
     release;
     weight;
     min_size;
     size_col;
     dens_col;
-    total_weight = Instance.total_weight instance;
     by_spt = heap (fun base -> less_spt size_col release base);
     by_spt_rev = heap (fun base -> less_spt_rev size_col release base);
     by_density = heap (fun base -> less_density dens_col release base);
@@ -214,7 +265,7 @@ let of_instance instance =
     loc = Array.make n loc_unreleased;
     events = Pqueue.Events.create ();
     seq = 0;
-    facc = Array.make facc_len 0.;
+    facc;
     a_completed = 0;
     a_rejected = 0;
     a_mid_run = 0;
@@ -239,6 +290,103 @@ let of_instance instance =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Streaming construction: a state over the machine fleet alone, with job
+   columns that grow as [add_job] feeds arrivals in.  Job ids need not
+   come in order (instances are not release-sorted by id), but the column
+   capacity tracks the largest id seen. *)
+
+let of_stream ~machines =
+  (* Machines-only stand-in: validates the fleet (ids 0..m-1) exactly as
+     a batch instance would; [set_instance] replaces it at close. *)
+  let instance = Instance.create ~name:"stream" ~machines:(Array.copy machines) ~jobs:[] () in
+  of_instance instance
+
+(* Double the job capacity to cover [id].  The scalar columns blit; the
+   per-(machine, job) matrices re-lay row by row at the new stride; the
+   heap comparators — closed over the old arrays — are re-blessed onto
+   the new ones.  Cold: amortized O(1) per fed job. *)
+let grow_columns t id =
+  let cap = t.stride in
+  if id >= cap then begin
+    let ncap = max 16 (max (id + 1) (2 * cap)) in
+    let grow_f a = let b = Array.make ncap 0. in Array.blit a 0 b 0 t.n; b in
+    let grow_i fill a = let b = Array.make ncap fill in Array.blit a 0 b 0 t.n; b in
+    let njobs = Array.make ncap retired_job in
+    Array.blit t.jobs 0 njobs 0 t.n;
+    t.jobs <- njobs;
+    t.release <- grow_f t.release;
+    t.weight <- grow_f t.weight;
+    t.min_size <- grow_f t.min_size;
+    t.loc <- grow_i loc_unreleased t.loc;
+    t.out_kind <- grow_i out_none t.out_kind;
+    t.out_machine <- grow_i 0 t.out_machine;
+    t.out_t0 <- grow_f t.out_t0;
+    t.out_speed <- grow_f t.out_speed;
+    t.out_finish <- grow_f t.out_finish;
+    let nrun = Array.make ncap false in
+    Array.blit t.out_running 0 nrun 0 t.n;
+    t.out_running <- nrun;
+    let nsz = Array.make (max 1 (t.m * ncap)) 0. in
+    let ndn = Array.make (max 1 (t.m * ncap)) 0. in
+    for i = 0 to t.m - 1 do
+      Array.blit t.size_col (i * cap) nsz (i * ncap) t.n;
+      Array.blit t.dens_col (i * cap) ndn (i * ncap) t.n
+    done;
+    t.size_col <- nsz;
+    t.dens_col <- ndn;
+    t.stride <- ncap;
+    rebless_heaps t
+  end
+
+let add_job t (j : Job.t) =
+  let id = j.Job.id in
+  if Array.length j.Job.sizes <> t.m then
+    invalid_arg
+      (Printf.sprintf "Flat_state.add_job: job %d has %d sizes for %d machines" id
+         (Array.length j.Job.sizes) t.m);
+  grow_columns t id;
+  if t.loc.(id) <> loc_unreleased then
+    invalid_arg (Printf.sprintf "Flat_state.add_job: job %d already added" id);
+  t.jobs.(id) <- j;
+  t.release.(id) <- j.Job.release;
+  t.weight.(id) <- j.Job.weight;
+  t.min_size.(id) <- Job.min_size j;
+  for i = 0 to t.m - 1 do
+    let p = Job.size j i in
+    t.size_col.((i * t.stride) + id) <- p;
+    t.dens_col.((i * t.stride) + id) <- j.Job.weight /. p
+  done;
+  if id >= t.n then t.n <- id + 1;
+  t.loc.(id) <- loc_queued;
+  t.facc.(f_total_weight) <- t.facc.(f_total_weight) +. j.Job.weight;
+  t.seq <- t.seq + 1;
+  Pqueue.Events.push t.events ~key:j.Job.release
+    ~tag:(Pqueue.Events.Key.arrival_tag ~seq:t.seq)
+    ~payload:id
+
+(* Pre-size for a known job count: one growth instead of a doubling
+   cascade, and the event queue holds all arrivals at once — how the
+   batch wrapper keeps [of_instance]'s allocation profile. *)
+let reserve t cap =
+  if cap > 0 then begin
+    grow_columns t (cap - 1);
+    Pqueue.Events.ensure_capacity t.events cap
+  end
+
+let set_retire t on = t.retire <- on
+let retire t = t.retire
+
+let set_instance t instance =
+  if Instance.m instance <> t.m then
+    invalid_arg
+      (Printf.sprintf "Flat_state.set_instance: %d machines, state has %d" (Instance.m instance)
+         t.m);
+  if Instance.n instance <> t.n then
+    invalid_arg
+      (Printf.sprintf "Flat_state.set_instance: %d jobs, state has %d" (Instance.n instance) t.n);
+  t.instance <- instance
+
+(* ------------------------------------------------------------------ *)
 (* Immutable reads. *)
 
 let[@rejlint.hot] instance t = t.instance
@@ -248,7 +396,7 @@ let[@rejlint.hot] job t id = t.jobs.(id)
 let[@rejlint.hot] release t id = t.release.(id)
 let[@rejlint.hot] weight t id = t.weight.(id)
 let[@rejlint.hot] min_size t id = t.min_size.(id)
-let[@rejlint.hot] size t ~machine ~job = t.size_col.((machine * t.n) + job)
+let[@rejlint.hot] size t ~machine ~job = t.size_col.((machine * t.stride) + job)
 let[@rejlint.hot] eligible t ~machine ~job = Float.is_finite (size t ~machine ~job)
 
 (* Candidate-set provenance for the flight recorder: how many machines a
@@ -262,7 +410,7 @@ let[@rejlint.hot] eligible t ~machine ~job = Float.is_finite (size t ~machine ~j
 let[@rejlint.hot] rec cand_mask_from t job k acc =
   if k >= t.m then acc
   else begin
-    let p = t.size_col.((k * t.n) + job) in
+    let p = t.size_col.((k * t.stride) + job) in
     cand_mask_from t job (k + 1)
       (if p -. p = 0. then acc lor (1 lsl (if k <= 61 then k else 62)) else acc)
   end
@@ -270,14 +418,14 @@ let[@rejlint.hot] rec cand_mask_from t job k acc =
 let[@rejlint.hot] rec cand_count_from t job k acc =
   if k >= t.m then acc
   else begin
-    let p = t.size_col.((k * t.n) + job) in
+    let p = t.size_col.((k * t.stride) + job) in
     cand_count_from t job (k + 1) (if p -. p = 0. then acc + 1 else acc)
   end
 
 let[@rejlint.hot] cand_mask t ~job = cand_mask_from t job 0 0 [@@inline]
 let[@rejlint.hot] cand_count t ~job = cand_count_from t job 0 0 [@@inline]
-let[@rejlint.hot] density t ~machine ~job = t.dens_col.((machine * t.n) + job)
-let[@rejlint.hot] total_weight t = t.total_weight
+let[@rejlint.hot] density t ~machine ~job = t.dens_col.((machine * t.stride) + job)
+let[@rejlint.hot] total_weight t = t.facc.(f_total_weight)
 let[@rejlint.hot] alpha t i = (Instance.machine t.instance i).Machine.alpha
 let[@rejlint.hot] mach_speed t i = (Instance.machine t.instance i).Machine.speed
 
@@ -410,7 +558,17 @@ let[@rejlint.hot] push_finish t ~machine ~time =
     ~payload:(Pqueue.Events.Key.finish_payload ~machine ~epoch:t.epoch.(machine))
 
 let[@rejlint.hot] next_event t = Pqueue.Events.pop t.events
+
+(* Bounded pop for [Driver.Session.drain_until]: stop at the horizon.
+   [~limit:infinity] behaves exactly like [next_event] (all queued keys
+   are finite), which is how a session's close drains the queue dry. *)
+let[@rejlint.hot] next_event_before t ~limit = Pqueue.Events.pop_before t.events ~limit
 let[@rejlint.hot] events_pushed t = t.seq
+
+(* Smallest queued event key, or [infinity] when the queue is idle — the
+   serve loop's "how far may I drain without outrunning the stream"
+   probe. *)
+let next_key t = if Pqueue.Events.is_empty t.events then infinity else Pqueue.Events.peek_key t.events
 let[@rejlint.hot] ev_time t = Pqueue.Events.key t.events
 let[@rejlint.hot] ev_tag t = Pqueue.Events.tag t.events
 let[@rejlint.hot] ev_payload t = Pqueue.Events.payload t.events
@@ -443,14 +601,19 @@ let grow_segments t =
   end
 
 let[@rejlint.hot] lay_segment t ~job ~machine ~start ~stop ~speed =
-  grow_segments t;
-  let s = t.seg_len in
-  t.seg_job.(s) <- job;
-  t.seg_machine.(s) <- machine;
-  t.seg_start.(s) <- start;
-  t.seg_stop.(s) <- stop;
-  t.seg_speed.(s) <- speed;
-  t.seg_len <- s + 1;
+  (* Rolling retirement folds the segment straight into the energy and
+     makespan accumulators below without storing it — the whole point of
+     the mode is that memory stays independent of run length. *)
+  if not t.retire then begin
+    grow_segments t;
+    let s = t.seg_len in
+    t.seg_job.(s) <- job;
+    t.seg_machine.(s) <- machine;
+    t.seg_start.(s) <- start;
+    t.seg_stop.(s) <- stop;
+    t.seg_speed.(s) <- speed;
+    t.seg_len <- s + 1
+  end;
   t.facc.(f_energy) <- t.facc.(f_energy) +. ((stop -. start) *. (speed ** alpha t machine));
   if stop > t.facc.(f_makespan) then t.facc.(f_makespan) <- stop
 
@@ -486,14 +649,19 @@ let[@rejlint.hot] outcome_completed t ~job ~machine ~start ~speed ~finish =
   t.out_machine.(job) <- machine;
   t.out_t0.(job) <- start;
   t.out_speed.(job) <- speed;
-  t.out_finish.(job) <- finish
+  t.out_finish.(job) <- finish;
+  (* Retirement: the settled job's boxed handle — and its per-machine
+     sizes array — is the dominant per-job heap cost; drop it the moment
+     nothing can read it again. *)
+  if t.retire then t.jobs.(job) <- retired_job
 
 let[@rejlint.hot] outcome_rejected t ~job ~machine ~time ~was_running =
   check_undecided t job;
   t.out_kind.(job) <- out_rejected;
   t.out_machine.(job) <- machine;
   t.out_t0.(job) <- time;
-  t.out_running.(job) <- was_running
+  t.out_running.(job) <- was_running;
+  if t.retire then t.jobs.(job) <- retired_job
 
 (* ------------------------------------------------------------------ *)
 (* Live metrics, read out of the accumulators.  The field-by-field
@@ -520,6 +688,8 @@ let[@rejlint.hot] rej_weight t = t.facc.(f_rej_weight)
    of [set_outcome] calls is immaterial). *)
 
 let to_schedule t =
+  if t.retire then
+    invalid_arg "Flat_state.to_schedule: segments were retired (rolling-retirement mode)";
   let b = Schedule.builder t.instance in
   for s = 0 to t.seg_len - 1 do
     Schedule.add_segment b

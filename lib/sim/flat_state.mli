@@ -38,6 +38,50 @@ val of_instance : Instance.t -> t
     Raises [Invalid_argument] if the machine count exceeds the event-key
     range ({!Pqueue.Events.Key.max_machine}). *)
 
+(** {1 Streaming construction}
+
+    A session-mode state starts from the machine fleet alone and learns
+    its jobs one {!add_job} at a time; the job columns (and the
+    per-(machine, job) matrices, whose stride is the job capacity) grow
+    by doubling, with the heap comparators re-blessed onto the
+    reallocated arrays ({!Pqueue.Iheap.set_less}).  Feeding every job of
+    an instance in [jobs_by_release] order reproduces the batch state's
+    event tags — and therefore its schedule — byte for byte. *)
+
+val of_stream : machines:Machine.t array -> t
+(** An empty state over the fleet ([Invalid_argument] on an invalid
+    fleet — ids must be dense 0..m-1 — exactly as instance construction
+    validates).  {!instance} returns a machines-only stand-in until
+    {!set_instance}. *)
+
+val add_job : t -> Job.t -> unit
+(** Registers the job's columns and queues its arrival event, consuming
+    the shared sequence counter — the streaming counterpart of one
+    {!seed_arrivals} step.  Jobs must be fed in ascending
+    [(release, id)] order for batch byte-identity (the driver's session
+    layer enforces this; ids may be arbitrary non-negative ints).
+    Raises [Invalid_argument] on a duplicate id or a sizes array that
+    does not match the fleet. *)
+
+val reserve : t -> int -> unit
+(** Pre-grows the job columns and the event queue for [cap] jobs — one
+    reallocation instead of a doubling cascade when the count is known
+    up front.  Never shrinks. *)
+
+val set_retire : t -> bool -> unit
+(** Toggles rolling retirement: segments are folded into the
+    energy/makespan accumulators without being stored, and settled jobs
+    drop their boxed [Job.t] handle, so memory is bounded by the live
+    set plus the flat columns.  {!to_schedule} becomes unavailable.
+    Set before the first event; never toggle mid-run. *)
+
+val retire : t -> bool
+
+val set_instance : t -> Instance.t -> unit
+(** Swaps the materialized instance in at session close, so
+    {!to_schedule} can build against it.  Raises [Invalid_argument] when
+    its machine or job count disagrees with the state. *)
+
 (** {1 Status codes}
 
     [loc] mirrors the boxed driver's location type as an int:
@@ -149,6 +193,15 @@ val push_finish : t -> machine:int -> time:float -> unit
     epoch. *)
 
 val next_event : t -> bool
+
+val next_event_before : t -> limit:float -> bool
+(** {!next_event}, but refuses to pop an event beyond the horizon —
+    {!Pqueue.Events.pop_before} on the shared queue.  The session
+    driver's bounded drain; callers box [limit] once per drain. *)
+
+val next_key : t -> float
+(** Key of the next queued event, or [infinity] when the queue is
+    empty.  Allocation-free. *)
 
 val events_pushed : t -> int
 (** Total events pushed so far (arrivals + scheduled completions).  Once

@@ -222,6 +222,13 @@ module Events = struct
   let tag t = t.cur_tag
   let payload t = t.cur_pay
 
+  (* Bounded pop for the session driver's [drain_until]: refuse to pop
+     past the horizon.  The comparison reads the root key straight out of
+     the unboxed key array, so the per-event cost over [pop] is one float
+     compare — the horizon itself is boxed once per drain call by the
+     caller, never per event. *)
+  let pop_before t ~limit = if t.elen = 0 || t.ekey.(0) > limit then false else pop t
+
   (* Non-destructive root reads, for the sharded driver's merge-pop: it
      scans every shard heap's head before popping exactly one.  Both are
      meaningless on an empty queue (the caller checks [is_empty]) and
@@ -409,13 +416,21 @@ module Iheap = struct
      byte-identical. *)
 
   type t = {
-    hless : int -> int -> bool;  (* strict total order over ids *)
+    mutable hless : int -> int -> bool;  (* strict total order over ids *)
     mutable hdata : int array;
     mutable hlen : int;
     mutable hpos : int array;  (* id -> heap slot, -1 when absent *)
   }
 
   let create ~less () = { hless = less; hdata = [||]; hlen = 0; hpos = [||] }
+
+  (* Re-bless the order after the arrays a comparator closed over have
+     been reallocated (the flat state's streaming column growth).  The
+     caller guarantees [less] realizes the same order over the ids
+     currently present, so the heap shape stays valid as-is; swapping the
+     closure only redirects future comparisons to the live arrays.  Cold:
+     runs once per capacity doubling, never per event. *)
+  let set_less t ~less = t.hless <- less
   let size t = t.hlen
   let is_empty t = t.hlen = 0
   let mem t ~id = id >= 0 && id < Array.length t.hpos && t.hpos.(id) >= 0

@@ -73,6 +73,14 @@ module Events : sig
   (** Removes the minimum, depositing it in the cursor; [false] when
       empty.  Allocation-free. *)
 
+  val pop_before : t -> limit:float -> bool
+  (** {!pop}, but refuses to pop an event whose key exceeds [limit]:
+      [false] when the queue is empty {e or} its minimum key is
+      [> limit] (the cursor is untouched in both refusal cases).
+      [pop_before t ~limit:infinity] behaves exactly like [pop t] for
+      the finite keys the queue admits.  Allocation-free per call given
+      the caller boxes [limit] once per drain, not per event. *)
+
   val key : t -> float
   (** Key of the most recently popped event.  Meaningless before the
       first successful {!pop}. *)
@@ -156,6 +164,14 @@ module Iheap : sig
   type t
 
   val create : less:(int -> int -> bool) -> unit -> t
+
+  val set_less : t -> less:(int -> int -> bool) -> unit
+  (** Replaces the strict order's closure without touching the heap
+      shape — the re-bless hook for streaming column growth, where the
+      arrays a comparator captured are reallocated wholesale.  [less]
+      must realize the {e same} total order over the ids currently
+      present, or the heap invariant silently breaks. *)
+
   val size : t -> int
   val is_empty : t -> bool
   val mem : t -> id:int -> bool

@@ -1,0 +1,35 @@
+(** Self-describing container for {!Driver.Session} checkpoints.
+
+    A [Driver.Session.freeze] payload is opaque marshaled state, valid
+    only for the executable that produced it.  This module frames it
+    with a magic string, a format version, the policy name and an
+    FNV-1a 64 checksum, so that a reader can reject anything that is
+    not an intact snapshot from a compatible writer {e before} the
+    payload reaches [Marshal] (whose behavior on corrupt input is
+    undefined).  Corrupted, truncated or alien files come back as a
+    structured {!error}, never an exception — the CLI maps them to
+    exit 2. *)
+
+type error =
+  | Bad_magic  (** Not a rejsched snapshot at all. *)
+  | Bad_version of int  (** A snapshot, but from an incompatible format revision. *)
+  | Truncated  (** Cut short (or carrying trailing garbage). *)
+  | Checksum_mismatch  (** Framing intact but the bytes rotted. *)
+
+val version : int
+(** Current container format version.  Bump on any layout change. *)
+
+val error_to_string : error -> string
+
+val wrap : policy:string -> payload:string -> string
+(** Frames a freeze payload under the given registry policy name. *)
+
+val unwrap : string -> (string * string, error) result
+(** [(policy, payload)] from an intact container.  Total: every byte
+    string yields [Ok] or [Error], never raises. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — binary, whole-file. *)
+
+val read_file : string -> string
+(** Binary whole-file read; raises [Sys_error] as [open_in] does. *)

@@ -20,6 +20,20 @@ let record t time event =
 let events t = List.rev t.rev
 let length t = t.len
 
+(* Entries recorded after the first [k]: the serve loop's per-batch
+   emission cursor.  O(length - k) — the suffix is the *head* of the
+   reversed list, so nothing older is walked. *)
+let since t k =
+  let fresh = t.len - k in
+  if fresh <= 0 then []
+  else begin
+    let rec take acc rest r =
+      if r = 0 then acc
+      else match rest with [] -> acc | e :: tl -> take (e :: acc) tl (r - 1)
+    in
+    take [] t.rev fresh
+  end
+
 (* Shared step-function builder: [delta] maps an event to [Some (machine, +-1)]
    when it moves the tracked population, [None] otherwise. *)
 let profile t ~machines ~delta =

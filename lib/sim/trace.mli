@@ -36,6 +36,11 @@ val events : t -> entry list
 
 val length : t -> int
 
+val since : t -> int -> entry list
+(** [since t k] — the entries recorded after the first [k], oldest
+    first: the incremental-emission cursor of the serve loop
+    ([since t 0 = events t]).  O(new entries), not O(length). *)
+
 val queue_profile : t -> machines:int -> (Machine.id * (Time.t * int) list) list
 (** Per machine, the step function of [|U_i(t)|] (dispatched, not yet
     completed or rejected): a list of [(time, new value)] changes, starting

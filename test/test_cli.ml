@@ -177,6 +177,131 @@ let test_trace_ring_cap_rejected () =
     (Test_util.contains (read_file err) "--ring-cap");
   Sys.remove err
 
+(* --- serve ------------------------------------------------------------ *)
+
+let arrival_lines =
+  [
+    {|{"job": 0, "release": 0.0, "sizes": [2.0, 3.0]}|};
+    {|{"job": 1, "release": 0.5, "sizes": [1.0, 1.0], "weight": 2.0}|};
+    {|{"job": 2, "release": 1.0, "sizes": ["Infinity", 2.5]}|};
+    {|{"job": 3, "release": 4.0, "sizes": [0.5, 4.0]}|};
+  ]
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines)
+
+let lines_with needle text =
+  String.split_on_char '\n' text |> List.filter (fun l -> Test_util.contains l needle)
+
+let test_serve_smoke () =
+  let input = temp ".ndjson" and out = temp ".out" in
+  write_lines input arrival_lines;
+  let code =
+    shell (Printf.sprintf "%s serve -p flow-reject -m 2 --input %s --batch 2 > %s" exe input out)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let text = read_file out in
+  Sys.remove input;
+  Sys.remove out;
+  (* Every line is schema-tagged, decisions under trace/1, progress and
+     the final summary under serve/1 — and each job shows up dispatched. *)
+  Alcotest.(check int) "two progress lines for batch=2"
+    2 (List.length (lines_with {|"type":"progress"|} text));
+  Alcotest.(check int) "one closing summary"
+    1 (List.length (lines_with {|"type":"closed"|} text));
+  Alcotest.(check int) "four dispatch decisions"
+    4 (List.length (lines_with {|"event":"dispatch"|} text));
+  String.split_on_char '\n' text
+  |> List.iter (fun l ->
+         if String.trim l <> "" then
+           match Sched_sim.Trace_export.schema_of_line l with
+           | Some ("rejsched.trace/1" | "rejsched.serve/1") -> ()
+           | Some other -> Alcotest.failf "unexpected schema %s" other
+           | None -> Alcotest.failf "untagged serve output line: %s" l)
+
+(* Splitting the stream across a checkpoint must replay into exactly the
+   decisions and final summary of the uninterrupted serve run. *)
+let test_serve_checkpoint_restore_identical () =
+  let input = temp ".ndjson" and full = temp ".out" in
+  let part1 = temp ".out" and part2 = temp ".out" and snap = temp ".snap" in
+  write_lines input arrival_lines;
+  Alcotest.(check int) "full run exits 0" 0
+    (shell (Printf.sprintf "%s serve -p flow-reject -m 2 --input %s > %s" exe input full));
+  let head2 = temp ".ndjson" and tail2 = temp ".ndjson" in
+  write_lines head2 (List.filteri (fun k _ -> k < 2) arrival_lines);
+  write_lines tail2 (List.filteri (fun k _ -> k >= 2) arrival_lines);
+  Alcotest.(check int) "first half exits 0" 0
+    (shell
+       (Printf.sprintf "%s serve -p flow-reject -m 2 --input %s --checkpoint %s > %s" exe head2
+          snap part1));
+  Alcotest.(check int) "resumed half exits 0" 0
+    (shell (Printf.sprintf "%s serve --restore %s --input %s > %s" exe snap tail2 part2));
+  let decisions text = lines_with "rejsched.trace/1" text in
+  let spliced = decisions (read_file part1) @ decisions (read_file part2) in
+  Alcotest.(check (list string)) "decision stream identical across the suspend"
+    (decisions (read_file full)) spliced;
+  Alcotest.(check (list string)) "final summary identical across the suspend"
+    (lines_with {|"type":"closed"|} (read_file full))
+    (lines_with {|"type":"closed"|} (read_file part2));
+  List.iter Sys.remove [ input; full; part1; part2; snap; head2; tail2 ]
+
+let test_serve_checkpoint_stdout () =
+  (* '--checkpoint -' puts the snapshot alone on stdout (NDJSON moves to
+     stderr), and the result restores cleanly. *)
+  let input = temp ".ndjson" and snap = temp ".snap" and out = temp ".out" in
+  write_lines input (List.filteri (fun k _ -> k < 2) arrival_lines);
+  Alcotest.(check int) "checkpoint to stdout exits 0" 0
+    (shell
+       (Printf.sprintf "%s serve -p greedy-spt -m 2 --input %s --checkpoint - > %s 2> /dev/null"
+          exe input snap));
+  Alcotest.(check bool) "stdout is the snapshot container" true
+    (Test_util.contains (read_file snap) "rejsched-snap");
+  let tail2 = temp ".ndjson" in
+  write_lines tail2 (List.filteri (fun k _ -> k >= 2) arrival_lines);
+  Alcotest.(check int) "restore from it exits 0" 0
+    (shell (Printf.sprintf "%s serve --restore %s --input %s > %s" exe snap tail2 out));
+  Alcotest.(check int) "resumed run closes"
+    1 (List.length (lines_with {|"type":"closed"|} (read_file out)));
+  List.iter Sys.remove [ input; snap; out; tail2 ]
+
+let test_serve_invalid_batch_rejected () =
+  List.iter
+    (fun flag ->
+      let err = temp ".txt" in
+      let code =
+        shell (Printf.sprintf "%s serve %s < /dev/null > /dev/null 2> %s" exe flag err)
+      in
+      Alcotest.(check int) (flag ^ " exit code") 2 code;
+      Alcotest.(check bool) (flag ^ " message on stderr") true
+        (Test_util.contains (read_file err) "--batch");
+      Sys.remove err)
+    [ "--batch 0"; "--batch=-4" ]
+
+let test_serve_corrupt_snapshot_rejected () =
+  let snap = temp ".snap" and err = temp ".txt" in
+  Out_channel.with_open_bin snap (fun oc -> Out_channel.output_string oc "rejsched-snapXXXX");
+  let code =
+    shell (Printf.sprintf "%s serve --restore %s < /dev/null > /dev/null 2> %s" exe snap err)
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) "structured error on stderr" true
+    (Test_util.contains (read_file err) "cannot restore");
+  Sys.remove snap;
+  Sys.remove err
+
+let test_serve_malformed_arrival_rejected () =
+  let input = temp ".ndjson" and err = temp ".txt" in
+  write_lines input [ {|{"job": 0, "release": |} ];
+  let code =
+    shell (Printf.sprintf "%s serve -m 2 --input %s > /dev/null 2> %s" exe input err)
+  in
+  Alcotest.(check int) "exit code" 1 code;
+  Alcotest.(check bool) "parse error on stderr" true
+    (Test_util.contains (read_file err) "bad arrival");
+  Sys.remove input;
+  Sys.remove err
+
 let test_experiment_domains_identical () =
   (* e1 replicates over seeds on the ambient pool, so --domains actually
      changes the execution width — output must not change with it. *)
@@ -249,4 +374,13 @@ let suite =
     Alcotest.test_case "trace subcommand replays a corpus case" `Quick test_trace_subcommand_case;
     Alcotest.test_case "trace subcommand to stdout" `Quick test_trace_subcommand_stdout;
     Alcotest.test_case "trace --ring-cap 0 rejected" `Quick test_trace_ring_cap_rejected;
+    Alcotest.test_case "serve smoke: schema-tagged decision stream" `Quick test_serve_smoke;
+    Alcotest.test_case "serve checkpoint/restore splices byte-identically" `Quick
+      test_serve_checkpoint_restore_identical;
+    Alcotest.test_case "serve --checkpoint - owns stdout" `Quick test_serve_checkpoint_stdout;
+    Alcotest.test_case "serve --batch 0/negative rejected" `Quick test_serve_invalid_batch_rejected;
+    Alcotest.test_case "serve --restore corrupt snapshot exits 2" `Quick
+      test_serve_corrupt_snapshot_rejected;
+    Alcotest.test_case "serve malformed arrival exits 1" `Quick
+      test_serve_malformed_arrival_rejected;
   ]

@@ -63,7 +63,7 @@ let check_pair ~what (e : P.entry) instance =
    would surface. *)
 let test_corpus_all_policies () =
   let cases = Corpus.seeds () in
-  Alcotest.(check int) "nine corpus cases" 9 (List.length cases);
+  Alcotest.(check int) "ten corpus cases" 10 (List.length cases);
   List.iter
     (fun (c : Corpus.case) ->
       List.iter
